@@ -1,0 +1,222 @@
+package ataqc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPublicCompileAllStrategies(t *testing.T) {
+	dev := GridDevice(16)
+	prob := RandomProblem(14, 0.3, 3)
+	for _, s := range []Strategy{StrategyHybrid, StrategyGreedy, StrategyATA, Strategy2QAN, StrategyQAIM, StrategyPaulihedral} {
+		res, err := Compile(dev, prob, Options{Strategy: s})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if res.Depth() <= 0 || res.CXCount() < 2*prob.Interactions() {
+			t.Fatalf("%s: depth=%d cx=%d", s, res.Depth(), res.CXCount())
+		}
+	}
+}
+
+func TestPublicDeviceConstructors(t *testing.T) {
+	for _, d := range []*Device{
+		LineDevice(8), GridDevice(20), SycamoreDevice(20),
+		HeavyHexDevice(27), HexagonDevice(20), MumbaiDevice(),
+	} {
+		if d.Qubits() < 8 || d.Name() == "" || len(d.Couplings()) == 0 {
+			t.Fatalf("degenerate device %s", d.Name())
+		}
+	}
+}
+
+func TestProblemBuilder(t *testing.T) {
+	p := NewProblem(4)
+	p.AddInteraction(0, 1)
+	p.AddInteraction(2, 3)
+	if p.Qubits() != 4 || p.Interactions() != 2 {
+		t.Fatal("problem builder wrong")
+	}
+	reg, err := RegularProblem(16, 0.25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Interactions() == 0 {
+		t.Fatal("regular problem empty")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	dev := LineDevice(4)
+	if _, err := Compile(dev, RandomProblem(8, 0.3, 1), Options{}); err == nil {
+		t.Fatal("oversized problem accepted")
+	}
+	if _, err := Compile(dev, RandomProblem(4, 0.5, 1), Options{Strategy: "bogus"}); err == nil {
+		t.Fatal("bogus strategy accepted")
+	}
+	if _, err := Compile(dev, RandomProblem(4, 0.5, 1), Options{NoiseAware: true}); err == nil {
+		t.Fatal("noise-aware without calibration accepted")
+	}
+}
+
+func TestNoiseAwareEndToEnd(t *testing.T) {
+	dev := MumbaiDevice().WithSyntheticNoise(7)
+	prob := RandomProblem(10, 0.3, 5)
+	res, err := Compile(dev, prob, Options{NoiseAware: true, CrosstalkAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.EstimatedFidelity()
+	if !(0 < f && f < 1) {
+		t.Fatalf("fidelity %v", f)
+	}
+	noisy, err := res.NoisyDistribution(0.5, 0.3, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := res.SimulateDistribution(0.5, 0.3)
+	if d := TVD(ideal, noisy); !(0 < d && d < 1) {
+		t.Fatalf("TVD %v", d)
+	}
+}
+
+func TestQASMExport(t *testing.T) {
+	dev := LineDevice(4)
+	res, err := Compile(dev, RandomProblem(4, 0.8, 1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteQASM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "OPENQASM 2.0;") || !strings.Contains(out, "cx q[") {
+		t.Fatalf("qasm output malformed:\n%s", out[:min(200, len(out))])
+	}
+}
+
+func TestMappingsConsistent(t *testing.T) {
+	dev := GridDevice(9)
+	prob := RandomProblem(9, 0.5, 2)
+	res, err := Compile(dev, prob, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ini, fin := res.InitialMapping(), res.FinalMapping()
+	if len(ini) != 9 || len(fin) != 9 {
+		t.Fatal("mapping lengths wrong")
+	}
+	seen := map[int]bool{}
+	for _, p := range fin {
+		if seen[p] {
+			t.Fatal("final mapping collides")
+		}
+		seen[p] = true
+	}
+}
+
+func TestQAOAWorkflow(t *testing.T) {
+	dev := GridDevice(8)
+	prob := RandomProblem(8, 0.4, 4)
+	res, err := Compile(dev, prob, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := res.QAOAExpectation(0, 0)
+	if diff := e0 - float64(prob.Interactions())/2; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("E(0,0) = %v", e0)
+	}
+	_, _, best := res.OptimizeQAOA(30)
+	if best <= e0 {
+		t.Fatalf("optimized %v not above uniform %v", best, e0)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestTrotterQASM(t *testing.T) {
+	dev := GridDevice(8)
+	res, err := Compile(dev, RandomProblem(8, 0.4, 9), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTrotterQASM(3, 0.6, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cx q[") {
+		t.Fatal("no gates in trotter qasm")
+	}
+	if err := res.WriteTrotterQASM(0, 1, &buf); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+}
+
+func TestParseProblem(t *testing.T) {
+	p, err := ParseProblem(strings.NewReader("0 1\n# comment\n\n2 3\n1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Qubits() != 4 || p.Interactions() != 3 {
+		t.Fatalf("parsed %d qubits, %d interactions", p.Qubits(), p.Interactions())
+	}
+	for _, bad := range []string{"", "0 0\n", "a b\n", "-1 2\n"} {
+		if _, err := ParseProblem(strings.NewReader(bad)); err == nil {
+			t.Fatalf("input %q accepted", bad)
+		}
+	}
+}
+
+func TestLoadProblemMissingFile(t *testing.T) {
+	if _, err := LoadProblem("/nonexistent/edges.txt"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestWriteSchedule(t *testing.T) {
+	dev := LineDevice(4)
+	res, err := Compile(dev, RandomProblem(4, 0.9, 2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteSchedule(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cycle   0:") {
+		t.Fatalf("schedule output malformed:\n%s", buf.String())
+	}
+}
+
+func TestDeviceRender(t *testing.T) {
+	if GridDevice(9).Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestOptimalDepth(t *testing.T) {
+	dev := LineDevice(4)
+	prob := NewProblem(4)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			prob.AddInteraction(u, v)
+		}
+	}
+	d, err := OptimalDepth(dev, prob, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 6 {
+		t.Fatalf("K4 on line-4 optimal depth %d, want 6", d)
+	}
+	if _, err := OptimalDepth(LineDevice(6), RandomProblem(6, 1.0, 1), 5); err != ErrSolverBudget {
+		t.Fatalf("want ErrSolverBudget, got %v", err)
+	}
+}

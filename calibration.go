@@ -1,0 +1,113 @@
+package ataqc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/graph"
+	"github.com/ata-pattern/ataqc/internal/noise"
+)
+
+// CustomDevice wraps an arbitrary coupling list as a device. Irregular
+// devices have no structured all-to-all pattern, so only StrategyGreedy and
+// the baseline strategies apply; the regular-family constructors
+// (HeavyHexDevice, SycamoreDevice, ...) unlock the full hybrid compiler.
+func CustomDevice(name string, qubits int, couplings [][2]int) (*Device, error) {
+	if qubits < 1 {
+		return nil, fmt.Errorf("ataqc: device needs at least one qubit")
+	}
+	g := graph.New(qubits)
+	for _, c := range couplings {
+		if c[0] < 0 || c[0] >= qubits || c[1] < 0 || c[1] >= qubits || c[0] == c[1] {
+			return nil, fmt.Errorf("ataqc: invalid coupling (%d,%d)", c[0], c[1])
+		}
+		g.AddEdge(c[0], c[1])
+	}
+	return &Device{arch: arch.Generic(name, g)}, nil
+}
+
+// Calibration mirrors the JSON calibration format: per-coupling two-qubit
+// error rates plus per-qubit single-qubit and readout errors. Missing
+// entries default to the median of the provided values (or zero when none
+// are given).
+type Calibration struct {
+	// TwoQubit lists per-coupling CX error rates.
+	TwoQubit []CouplingError `json:"twoQubit"`
+	// SingleQubit and Readout are per-qubit error rates, indexed by qubit.
+	SingleQubit []float64 `json:"singleQubit"`
+	Readout     []float64 `json:"readout"`
+	// IdlePerCycle is the per-qubit decoherence probability per circuit
+	// cycle.
+	IdlePerCycle float64 `json:"idlePerCycle"`
+}
+
+// CouplingError is one link's calibration entry.
+type CouplingError struct {
+	Q0    int     `json:"q0"`
+	Q1    int     `json:"q1"`
+	Error float64 `json:"error"`
+}
+
+// ParseCalibration decodes a JSON calibration.
+func ParseCalibration(r io.Reader) (*Calibration, error) {
+	var c Calibration
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("ataqc: calibration: %w", err)
+	}
+	return &c, nil
+}
+
+// WithCalibration attaches a measured calibration to the device, replacing
+// any synthetic one. Couplings missing from the calibration get the median
+// of the provided two-qubit errors.
+func (d *Device) WithCalibration(c *Calibration) (*Device, error) {
+	m := noise.Ideal(d.arch)
+	var vals []float64
+	for _, ce := range c.TwoQubit {
+		if !d.arch.G.HasEdge(ce.Q0, ce.Q1) {
+			return nil, fmt.Errorf("ataqc: calibration names non-coupling (%d,%d)", ce.Q0, ce.Q1)
+		}
+		if ce.Error < 0 || ce.Error >= 1 {
+			return nil, fmt.Errorf("ataqc: error rate %v out of [0,1) on (%d,%d)", ce.Error, ce.Q0, ce.Q1)
+		}
+		m.TwoQubit[graph.NewEdge(ce.Q0, ce.Q1)] = ce.Error
+		vals = append(vals, ce.Error)
+	}
+	med := median(vals)
+	for _, e := range d.arch.G.Edges() {
+		if m.TwoQubit[e] == 0 && med > 0 {
+			m.TwoQubit[e] = med
+		}
+	}
+	for q, v := range c.SingleQubit {
+		if q < d.arch.N() {
+			m.SingleQubit[q] = v
+		}
+	}
+	for q, v := range c.Readout {
+		if q < d.arch.N() {
+			m.Readout[q] = v
+		}
+	}
+	m.IdlePerCycle = c.IdlePerCycle
+	m.CrosstalkFactor = 1.5
+	d.noise = m
+	return d, nil
+}
+
+func median(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vals...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[len(sorted)/2]
+}

@@ -1,0 +1,100 @@
+package ataqc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCustomDevice(t *testing.T) {
+	dev, err := CustomDevice("ring", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Qubits() != 4 || len(dev.Couplings()) != 4 {
+		t.Fatal("custom device wrong")
+	}
+	prob := NewProblem(4)
+	prob.AddInteraction(0, 2)
+	res, err := Compile(dev, prob, Options{Strategy: StrategyGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CXCount() < 2 {
+		t.Fatal("gate missing")
+	}
+	// The hybrid needs a regular family.
+	if _, err := Compile(dev, prob, Options{}); err == nil {
+		t.Fatal("hybrid accepted an irregular device")
+	}
+	// Invalid couplings rejected.
+	if _, err := CustomDevice("bad", 2, [][2]int{{0, 5}}); err == nil {
+		t.Fatal("bad coupling accepted")
+	}
+}
+
+func TestParseCalibrationAndAttach(t *testing.T) {
+	js := `{
+		"twoQubit": [{"q0": 0, "q1": 1, "error": 0.02}, {"q0": 1, "q1": 2, "error": 0.01}],
+		"singleQubit": [0.0003, 0.0002, 0.0004],
+		"readout": [0.02, 0.03, 0.01],
+		"idlePerCycle": 0.001
+	}`
+	cal, err := ParseCalibration(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := LineDevice(3)
+	if _, err := dev.WithCalibration(cal); err != nil {
+		t.Fatal(err)
+	}
+	prob := NewProblem(3)
+	prob.AddInteraction(0, 1)
+	prob.AddInteraction(1, 2)
+	res, err := Compile(dev, prob, Options{NoiseAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.EstimatedFidelity()
+	if !(0 < f && f < 1) {
+		t.Fatalf("fidelity %v", f)
+	}
+}
+
+func TestCalibrationValidation(t *testing.T) {
+	if _, err := ParseCalibration(strings.NewReader(`{"bogus": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	dev := LineDevice(3)
+	if _, err := dev.WithCalibration(&Calibration{
+		TwoQubit: []CouplingError{{Q0: 0, Q1: 2, Error: 0.1}},
+	}); err == nil {
+		t.Fatal("non-coupling calibration accepted")
+	}
+	if _, err := dev.WithCalibration(&Calibration{
+		TwoQubit: []CouplingError{{Q0: 0, Q1: 1, Error: 1.5}},
+	}); err == nil {
+		t.Fatal("error rate > 1 accepted")
+	}
+}
+
+func TestCalibrationMedianFill(t *testing.T) {
+	dev := LineDevice(4) // couplings (0,1),(1,2),(2,3)
+	cal := &Calibration{TwoQubit: []CouplingError{
+		{Q0: 0, Q1: 1, Error: 0.02},
+		{Q0: 1, Q1: 2, Error: 0.04},
+	}}
+	if _, err := dev.WithCalibration(cal); err != nil {
+		t.Fatal(err)
+	}
+	// Coupling (2,3) missing: filled with the median (0.04 of [0.02,0.04]
+	// -> index 1).
+	prob := NewProblem(4)
+	prob.AddInteraction(2, 3)
+	res, err := Compile(dev, prob, Options{NoiseAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EstimatedFidelity() >= 1 {
+		t.Fatal("median fill did not apply")
+	}
+}

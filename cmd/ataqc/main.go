@@ -1,0 +1,146 @@
+// Command ataqc compiles a problem graph — synthetic or loaded from an edge
+// list — onto a regular quantum architecture and reports the paper's
+// metrics.
+//
+// Usage:
+//
+//	ataqc -arch heavy-hex -n 64 -density 0.3 -strategy hybrid
+//	ataqc -arch mumbai -n 10 -density 0.3 -noise -qasm out.qasm
+//	ataqc -arch grid -problem edges.txt -json
+//
+// The edge-list format is one "u v" pair per line (0-based vertex ids);
+// blank lines and lines starting with '#' are ignored.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/ata-pattern/ataqc"
+)
+
+func main() {
+	var (
+		family   = flag.String("arch", "heavy-hex", "architecture family: line, grid, sycamore, heavy-hex, hexagon, mumbai")
+		n        = flag.Int("n", 64, "number of logical qubits")
+		density  = flag.Float64("density", 0.3, "problem graph density")
+		regular  = flag.Bool("regular", false, "use a random regular graph instead of G(n,p)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		strategy = flag.String("strategy", "hybrid", "hybrid, greedy, ata, 2qan, qaim, paulihedral")
+		noisy    = flag.Bool("noise", false, "attach a synthetic calibration and compile noise-aware")
+		qasmOut  = flag.String("qasm", "", "write the compiled circuit as OpenQASM 2.0 to this file")
+		probFile = flag.String("problem", "", "load the problem graph from an edge-list file instead of generating one")
+		asJSON   = flag.Bool("json", false, "emit the result as JSON")
+		showArch = flag.Bool("show-arch", false, "print an ASCII picture of the device and exit")
+		showSch  = flag.Bool("schedule", false, "print the compiled schedule cycle by cycle")
+	)
+	flag.Parse()
+
+	// The problem comes first: a file-loaded instance determines the
+	// device size.
+	var prob *ataqc.Problem
+	switch {
+	case *probFile != "":
+		var err error
+		prob, err = ataqc.LoadProblem(*probFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		*n = prob.Qubits()
+	case *regular:
+		var err error
+		prob, err = ataqc.RegularProblem(*n, *density, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		prob = ataqc.RandomProblem(*n, *density, *seed)
+	}
+
+	var dev *ataqc.Device
+	switch *family {
+	case "line":
+		dev = ataqc.LineDevice(*n)
+	case "grid":
+		dev = ataqc.GridDevice(*n)
+	case "sycamore":
+		dev = ataqc.SycamoreDevice(*n)
+	case "heavy-hex", "heavyhex":
+		dev = ataqc.HeavyHexDevice(*n)
+	case "hexagon":
+		dev = ataqc.HexagonDevice(*n)
+	case "mumbai":
+		dev = ataqc.MumbaiDevice()
+	default:
+		log.Fatalf("unknown architecture %q", *family)
+	}
+	if *noisy {
+		dev = dev.WithSyntheticNoise(*seed)
+	}
+	if *showArch {
+		fmt.Printf("%s (%d qubits)\n%s", dev.Name(), dev.Qubits(), dev.Render())
+		return
+	}
+
+	res, err := ataqc.Compile(dev, prob, ataqc.Options{
+		Strategy:   ataqc.Strategy(*strategy),
+		NoiseAware: *noisy,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *asJSON {
+		out := map[string]any{
+			"device":       dev.Name(),
+			"deviceQubits": dev.Qubits(),
+			"qubits":       prob.Qubits(),
+			"interactions": prob.Interactions(),
+			"strategy":     *strategy,
+			"depth":        res.Depth(),
+			"cxCount":      res.CXCount(),
+			"swaps":        res.SwapCount(),
+			"initial":      res.InitialMapping(),
+			"final":        res.FinalMapping(),
+		}
+		if *noisy {
+			out["estimatedFidelity"] = res.EstimatedFidelity()
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("device:        %s (%d qubits)\n", dev.Name(), dev.Qubits())
+	fmt.Printf("problem:       %d qubits, %d interactions (density %.2f)\n",
+		prob.Qubits(), prob.Interactions(), *density)
+	fmt.Printf("strategy:      %s\n", *strategy)
+	fmt.Printf("depth:         %d\n", res.Depth())
+	fmt.Printf("CX count:      %d\n", res.CXCount())
+	fmt.Printf("SWAPs:         %d\n", res.SwapCount())
+	if *noisy {
+		fmt.Printf("est. fidelity: %.4g\n", res.EstimatedFidelity())
+	}
+	if *showSch {
+		if err := res.WriteSchedule(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *qasmOut != "" {
+		f, err := os.Create(*qasmOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := res.WriteQASM(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("qasm:          %s\n", *qasmOut)
+	}
+}

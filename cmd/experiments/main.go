@@ -1,0 +1,101 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures (§7) and writes them as markdown.
+//
+// Usage:
+//
+//	experiments -quick                 # laptop-scale versions of everything
+//	experiments -exp fig17,table1     # a subset
+//	experiments -out results.md        # full-scale run (up to 1024 qubits)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/ata-pattern/ataqc/internal/bench"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "run reduced sizes (fast)")
+		exps   = flag.String("exp", "all", "comma-separated experiment ids: fig17,fig20,fig22,table1,table2,table3,table4,tvd,fig24,fig25,fig26")
+		out    = flag.String("out", "", "write markdown to this file instead of stdout")
+		trials = flag.Int("trials", 0, "graphs per cell (default: 10 full / 3 quick)")
+		seed   = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	if *quick {
+		cfg = bench.QuickConfig()
+	}
+	cfg.Seed = *seed
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	type runner struct {
+		id  string
+		run func() (*bench.Report, error)
+	}
+	convRounds := 30
+	if *quick {
+		convRounds = 12
+	}
+	fig25Qubits := 16
+	if *quick {
+		fig25Qubits = 8
+	}
+	runners := []runner{
+		{"fig17", func() (*bench.Report, error) { return bench.RunFig17(cfg) }},
+		{"fig20", func() (*bench.Report, error) { return bench.RunDepthGate(cfg, "heavy-hex") }},
+		{"fig22", func() (*bench.Report, error) { return bench.RunDepthGate(cfg, "sycamore") }},
+		{"table1", func() (*bench.Report, error) { return bench.RunTable1(cfg) }},
+		{"table2", func() (*bench.Report, error) { return bench.RunTable2(cfg) }},
+		{"table3", func() (*bench.Report, error) { return bench.RunTable3(cfg) }},
+		{"table4", func() (*bench.Report, error) { return bench.RunTable4(cfg) }},
+		{"tvd", func() (*bench.Report, error) { return bench.RunTVD(cfg) }},
+		{"fig24", func() (*bench.Report, error) { return bench.RunConvergence(cfg, 10, convRounds) }},
+		{"fig25", func() (*bench.Report, error) { return bench.RunConvergence(cfg, fig25Qubits, convRounds) }},
+		{"fig26", func() (*bench.Report, error) { return bench.RunCompileTime(cfg) }},
+		{"ablations", func() (*bench.Report, error) { return bench.RunAblations(cfg) }},
+	}
+
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*exps, ",") {
+		selected[strings.TrimSpace(strings.ToLower(id))] = true
+	}
+	all := selected["all"]
+
+	fmt.Fprintf(w, "# ataqc experiment results\n\ngenerated %s, quick=%v, trials=%d, seed=%d\n\n",
+		time.Now().Format(time.RFC3339), *quick, cfg.Trials, cfg.Seed)
+	for _, r := range runners {
+		if !all && !selected[r.id] {
+			continue
+		}
+		start := time.Now()
+		rep, err := r.run()
+		if err != nil {
+			log.Fatalf("%s: %v", r.id, err)
+		}
+		if _, err := rep.WriteTo(w); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%s done in %s\n", r.id, time.Since(start).Round(time.Millisecond))
+	}
+}

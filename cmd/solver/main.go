@@ -1,0 +1,75 @@
+// Command solver runs the depth-optimal A* solver (§4) on a small instance
+// and prints the optimal schedule — the tool used to discover the
+// structured patterns of §3.
+//
+// Usage:
+//
+//	solver -arch line -rows 1 -cols 5            # K5 clique on a 1x5 line
+//	solver -arch grid -rows 2 -cols 3 -bipartite # 2xUnit sub-problem
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/graph"
+	"github.com/ata-pattern/ataqc/internal/solver"
+)
+
+func main() {
+	var (
+		family    = flag.String("arch", "line", "line or grid")
+		rows      = flag.Int("rows", 1, "grid rows (ignored for line)")
+		cols      = flag.Int("cols", 4, "line length / grid columns")
+		bipartite = flag.Bool("bipartite", false, "solve the 2xUnit bipartite sub-problem instead of the clique")
+		maxNodes  = flag.Int("maxnodes", 1<<22, "search node budget")
+	)
+	flag.Parse()
+
+	var a *arch.Arch
+	switch *family {
+	case "line":
+		a = arch.Line(*cols)
+	case "grid":
+		a = arch.Grid(*rows, *cols)
+	default:
+		log.Fatalf("unknown architecture %q", *family)
+	}
+
+	n := a.N()
+	var p *graph.Graph
+	if *bipartite {
+		if *family != "grid" || *rows != 2 {
+			log.Fatal("-bipartite requires -arch grid -rows 2")
+		}
+		p = graph.New(n)
+		for i := 0; i < *cols; i++ {
+			for j := *cols; j < 2**cols; j++ {
+				p.AddEdge(i, j)
+			}
+		}
+	} else {
+		p = graph.Complete(n)
+	}
+
+	res, err := solver.Solve(a, p, nil, solver.Options{MaxNodes: *maxNodes})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("architecture: %s\n", a)
+	fmt.Printf("problem:      %d gates\n", p.M())
+	fmt.Printf("optimal depth: %d cycles (%d nodes explored)\n", res.Depth, res.Explored)
+	for i, cyc := range res.Cycles {
+		fmt.Printf("cycle %2d:", i)
+		for _, op := range cyc {
+			if op.Gate {
+				fmt.Printf("  gate%v@(%d,%d)", op.Tag, op.P, op.Q)
+			} else {
+				fmt.Printf("  swap(%d,%d)", op.P, op.Q)
+			}
+		}
+		fmt.Println()
+	}
+}

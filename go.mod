@@ -1,0 +1,3 @@
+module github.com/ata-pattern/ataqc
+
+go 1.22

@@ -1,0 +1,157 @@
+package arch
+
+import (
+	"fmt"
+
+	"github.com/ata-pattern/ataqc/internal/graph"
+)
+
+// Grid returns the rows x cols 2D grid architecture. Qubit (r,c) has index
+// r*cols + c. Units are the rows (§3.1); the snake is the boustrophedon path.
+func Grid(rows, cols int) *Arch {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("arch: invalid grid %dx%d", rows, cols))
+	}
+	n := rows * cols
+	g := graph.New(n)
+	coords := make([]Coord, n)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			coords[id(r, c)] = Coord{Row: r, Col: c}
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	units := make([][]int, rows)
+	for r := 0; r < rows; r++ {
+		units[r] = make([]int, cols)
+		for c := 0; c < cols; c++ {
+			units[r][c] = id(r, c)
+		}
+	}
+	snake := make([]int, 0, n)
+	for r := 0; r < rows; r++ {
+		if r%2 == 0 {
+			for c := 0; c < cols; c++ {
+				snake = append(snake, id(r, c))
+			}
+		} else {
+			for c := cols - 1; c >= 0; c-- {
+				snake = append(snake, id(r, c))
+			}
+		}
+	}
+	return &Arch{
+		Name:   fmt.Sprintf("grid-%dx%d", rows, cols),
+		Kind:   KindGrid,
+		G:      g,
+		Coords: coords,
+		Units:  units,
+		Snake:  snake,
+		Path:   snake,
+	}
+}
+
+// GridN returns a near-square grid with at least n qubits, the paper's
+// "minimum size of architecture that can handle the input problem graph"
+// with "shape close to a square" (§7.1).
+func GridN(n int) *Arch {
+	rows, cols := nearSquare(n)
+	return Grid(rows, cols)
+}
+
+// nearSquare returns rows, cols with rows*cols >= n, rows <= cols, and the
+// shape as close to square as possible.
+func nearSquare(n int) (rows, cols int) {
+	if n <= 0 {
+		return 1, 1
+	}
+	rows = 1
+	for rows*rows < n {
+		rows++
+	}
+	cols = rows
+	// Shrink rows while capacity allows, keeping near-square.
+	for (rows-1)*cols >= n {
+		rows--
+	}
+	return rows, cols
+}
+
+// Lattice3D returns the x*y*z cubic lattice (§3.2 discussion, Fig 13).
+// Qubit (i,j,k) has index (k*y+j)*x + i; units are the x-direction rows of
+// plane z=0's decomposition generalised per plane. The snake traverses
+// plane-by-plane boustrophedon.
+func Lattice3D(x, y, z int) *Arch {
+	if x < 1 || y < 1 || z < 1 {
+		panic(fmt.Sprintf("arch: invalid lattice %dx%dx%d", x, y, z))
+	}
+	n := x * y * z
+	g := graph.New(n)
+	coords := make([]Coord, n)
+	id := func(i, j, k int) int { return (k*y+j)*x + i }
+	for k := 0; k < z; k++ {
+		for j := 0; j < y; j++ {
+			for i := 0; i < x; i++ {
+				coords[id(i, j, k)] = Coord{Row: j, Col: i, Z: k}
+				if i+1 < x {
+					g.AddEdge(id(i, j, k), id(i+1, j, k))
+				}
+				if j+1 < y {
+					g.AddEdge(id(i, j, k), id(i, j+1, k))
+				}
+				if k+1 < z {
+					g.AddEdge(id(i, j, k), id(i, j, k+1))
+				}
+			}
+		}
+	}
+	// Units: one per (j,k) row along x.
+	var units [][]int
+	for k := 0; k < z; k++ {
+		for j := 0; j < y; j++ {
+			row := make([]int, x)
+			for i := 0; i < x; i++ {
+				row[i] = id(i, j, k)
+			}
+			units = append(units, row)
+		}
+	}
+	// Snake: within each plane boustrophedon over (i,j), planes chained in
+	// alternating direction so consecutive plane endpoints are adjacent.
+	snake := make([]int, 0, n)
+	for k := 0; k < z; k++ {
+		var plane []int
+		for j := 0; j < y; j++ {
+			if j%2 == 0 {
+				for i := 0; i < x; i++ {
+					plane = append(plane, id(i, j, k))
+				}
+			} else {
+				for i := x - 1; i >= 0; i-- {
+					plane = append(plane, id(i, j, k))
+				}
+			}
+		}
+		if k%2 == 1 {
+			for l, r := 0, len(plane)-1; l < r; l, r = l+1, r-1 {
+				plane[l], plane[r] = plane[r], plane[l]
+			}
+		}
+		snake = append(snake, plane...)
+	}
+	return &Arch{
+		Name:   fmt.Sprintf("lattice3d-%dx%dx%d", x, y, z),
+		Kind:   KindLattice3D,
+		G:      g,
+		Coords: coords,
+		Units:  units,
+		Snake:  snake,
+		Path:   snake,
+	}
+}

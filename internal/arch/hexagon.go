@@ -1,0 +1,70 @@
+package arch
+
+import (
+	"fmt"
+
+	"github.com/ata-pattern/ataqc/internal/graph"
+)
+
+// Hexagon returns the hypothetical honeycomb architecture of §3.2.2 in the
+// paper's "dragged square layout" (Fig 12b): rows x cols qubits where every
+// column is a fully connected vertical line (the units), and horizontal
+// couplings between adjacent columns exist at alternating heights — qubit
+// (r,c) couples to (r,c+1) exactly when r+c is even. Every qubit then has
+// degree ≤ 3, matching a honeycomb.
+//
+// Both dimensions are rounded up to even: the 2xUnit U-path pattern needs a
+// rung at one end of every column pair, which an even height guarantees for
+// any even-height sub-region as well.
+func Hexagon(rows, cols int) *Arch {
+	if rows < 2 || cols < 1 {
+		panic(fmt.Sprintf("arch: invalid hexagon %dx%d", rows, cols))
+	}
+	if cols%2 == 1 {
+		cols++
+	}
+	if rows%2 == 1 {
+		rows++
+	}
+	n := rows * cols
+	g := graph.New(n)
+	coords := make([]Coord, n)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			coords[id(r, c)] = Coord{Row: r, Col: c}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c))
+			}
+			if c+1 < cols && (r+c)%2 == 0 {
+				g.AddEdge(id(r, c), id(r, c+1))
+			}
+		}
+	}
+	// Units are the columns (Fig 12a/b).
+	units := make([][]int, cols)
+	for c := 0; c < cols; c++ {
+		units[c] = make([]int, rows)
+		for r := 0; r < rows; r++ {
+			units[c][r] = id(r, c)
+		}
+	}
+	// No Hamiltonian snake is recorded: the brick-wall lattice admits one
+	// only with per-pair detours that the structured ATA never needs.
+	return &Arch{
+		Name:   fmt.Sprintf("hexagon-%dx%d", rows, cols),
+		Kind:   KindHexagon,
+		G:      g,
+		Coords: coords,
+		Units:  units,
+	}
+}
+
+// HexagonN returns a near-square hexagon architecture with at least n qubits.
+func HexagonN(n int) *Arch {
+	rows, cols := nearSquare(n)
+	if rows < 2 {
+		rows = 2
+	}
+	return Hexagon(rows, cols)
+}

@@ -1,0 +1,96 @@
+package arch
+
+import "github.com/ata-pattern/ataqc/internal/graph"
+
+// mumbaiCouplings is the 27-qubit IBM Falcon heavy-hex coupling map used by
+// ibmq_mumbai (the machine of the paper's §7.4 end-to-end experiments).
+var mumbaiCouplings = [][2]int{
+	{0, 1}, {1, 2}, {1, 4}, {2, 3}, {3, 5}, {4, 7}, {5, 8}, {6, 7},
+	{7, 10}, {8, 9}, {8, 11}, {10, 12}, {11, 14}, {12, 13}, {12, 15},
+	{13, 14}, {14, 16}, {15, 18}, {16, 19}, {17, 18}, {18, 21}, {19, 20},
+	{19, 22}, {21, 23}, {22, 25}, {23, 24}, {24, 25}, {25, 26},
+}
+
+// Mumbai returns the 27-qubit IBM Mumbai (Falcon r5.1) architecture.
+//
+// Substitution note (DESIGN.md): the paper runs on the physical machine; we
+// expose its coupling graph here and pair it with a synthetic calibration
+// (internal/noise) plus the trajectory simulator (internal/sim) for the
+// end-to-end experiments. The longest path below snakes through 23 of the
+// 27 qubits; the four remaining qubits (1, 8, 18, 25 hang off it) — like
+// heavy-hex, it is compiled with the two-pass path method of §5.1.
+func Mumbai() *Arch {
+	g := graph.New(27)
+	for _, e := range mumbaiCouplings {
+		g.AddEdge(e[0], e[1])
+	}
+	p := longestPathSearch(g)
+	pathIdx := make(map[int]int, len(p))
+	for i, q := range p {
+		pathIdx[q] = i
+	}
+	var off []OffPathQubit
+	for q := 0; q < 27; q++ {
+		if _, on := pathIdx[q]; on {
+			continue
+		}
+		var anchors []int
+		for _, nb := range g.Neighbors(q) {
+			if i, ok := pathIdx[nb]; ok {
+				anchors = append(anchors, i)
+			}
+		}
+		off = append(off, OffPathQubit{Qubit: q, PathAnchors: anchors})
+	}
+	coords := make([]Coord, 27)
+	for q := range coords {
+		coords[q] = Coord{Row: 0, Col: q}
+	}
+	return &Arch{
+		Name:    "ibmq-mumbai",
+		Kind:    KindHeavyHex,
+		G:       g,
+		Coords:  coords,
+		Path:    p,
+		OffPath: off,
+	}
+}
+
+// longestPathSearch finds a longest simple path by depth-first search with
+// memoised pruning. It is exponential in the worst case but the heavy-hex
+// graphs it is used on (27 qubits, max degree 3) are tiny and tree-like.
+func longestPathSearch(g *graph.Graph) []int {
+	var best []int
+	n := g.N()
+	visited := make([]bool, n)
+	path := make([]int, 0, n)
+	var dfs func(v int)
+	dfs = func(v int) {
+		visited[v] = true
+		path = append(path, v)
+		if len(path) > len(best) {
+			best = append(best[:0], path...)
+		}
+		for _, w := range g.Neighbors(v) {
+			if !visited[w] {
+				dfs(w)
+			}
+		}
+		visited[v] = false
+		path = path[:len(path)-1]
+	}
+	for s := 0; s < n; s++ {
+		// Only start from low-degree vertices: a longest path in a graph
+		// with leaves starts at a leaf or a low-degree vertex; starting from
+		// all vertices is still fine for n=27 but slower.
+		if g.Degree(s) <= 2 {
+			dfs(s)
+		}
+	}
+	if best == nil {
+		for s := 0; s < n; s++ {
+			dfs(s)
+		}
+	}
+	return best
+}

@@ -1,0 +1,159 @@
+package arch
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render returns a coarse ASCII picture of the architecture's geometry:
+// qubit indices laid out by coordinate, with `-`, `|`, `/` and `\` marking
+// couplings where the layout can show them. Intended for CLI diagnostics
+// and documentation, not precision drawing.
+func (a *Arch) Render() string {
+	switch a.Kind {
+	case KindLine:
+		var sb strings.Builder
+		for i, q := range a.Path {
+			if i > 0 {
+				sb.WriteString("--")
+			}
+			fmt.Fprintf(&sb, "%d", q)
+		}
+		return sb.String()
+	case KindGrid, KindHexagon:
+		return a.renderGridLike()
+	case KindSycamore:
+		return a.renderSycamore()
+	case KindHeavyHex:
+		return a.renderHeavyHex()
+	default:
+		return fmt.Sprintf("%s: %d qubits, %d couplings (no layout renderer)", a.Name, a.N(), a.G.M())
+	}
+}
+
+const cellWidth = 5
+
+func (a *Arch) bounds() (rows, cols int) {
+	for _, c := range a.Coords {
+		if c.Row+1 > rows {
+			rows = c.Row + 1
+		}
+		if c.Col+1 > cols {
+			cols = c.Col + 1
+		}
+	}
+	return rows, cols
+}
+
+func (a *Arch) qubitAt(row, col int, bridge bool) int {
+	for q, c := range a.Coords {
+		if c.Row == row && c.Col == col && c.Bridge == bridge && c.Z == 0 {
+			return q
+		}
+	}
+	return -1
+}
+
+func (a *Arch) renderGridLike() string {
+	rows, cols := a.bounds()
+	var sb strings.Builder
+	for r := 0; r < rows; r++ {
+		// Qubit row with horizontal couplings.
+		for c := 0; c < cols; c++ {
+			q := a.qubitAt(r, c, false)
+			if q < 0 {
+				sb.WriteString(strings.Repeat(" ", cellWidth))
+				continue
+			}
+			fmt.Fprintf(&sb, "%-3d", q)
+			if right := a.qubitAt(r, c+1, false); right >= 0 && a.G.HasEdge(q, right) {
+				sb.WriteString("--")
+			} else {
+				sb.WriteString("  ")
+			}
+		}
+		sb.WriteString("\n")
+		if r+1 == rows {
+			break
+		}
+		// Vertical couplings.
+		for c := 0; c < cols; c++ {
+			q := a.qubitAt(r, c, false)
+			below := a.qubitAt(r+1, c, false)
+			if q >= 0 && below >= 0 && a.G.HasEdge(q, below) {
+				sb.WriteString("|" + strings.Repeat(" ", cellWidth-1))
+			} else {
+				sb.WriteString(strings.Repeat(" ", cellWidth))
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func (a *Arch) renderSycamore() string {
+	rows, cols := a.bounds()
+	var sb strings.Builder
+	for r := 0; r < rows; r++ {
+		indent := ""
+		if r%2 == 1 {
+			indent = strings.Repeat(" ", cellWidth/2)
+		}
+		sb.WriteString(indent)
+		for c := 0; c < cols; c++ {
+			q := a.qubitAt(r, c, false)
+			fmt.Fprintf(&sb, "%-*d", cellWidth, q)
+		}
+		sb.WriteString("\n")
+		if r+1 == rows {
+			break
+		}
+		sb.WriteString(indent)
+		for c := 0; c < cols; c++ {
+			// Diagonal couplings to the next (offset) row.
+			if r%2 == 0 {
+				sb.WriteString(`|\` + strings.Repeat(" ", cellWidth-2))
+			} else {
+				sb.WriteString(`|/` + strings.Repeat(" ", cellWidth-2))
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func (a *Arch) renderHeavyHex() string {
+	rows, cols := a.bounds()
+	var sb strings.Builder
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			q := a.qubitAt(r, c, false)
+			if q < 0 {
+				sb.WriteString(strings.Repeat(" ", cellWidth))
+				continue
+			}
+			fmt.Fprintf(&sb, "%-3d", q)
+			if right := a.qubitAt(r, c+1, false); right >= 0 && a.G.HasEdge(q, right) {
+				sb.WriteString("--")
+			} else {
+				sb.WriteString("  ")
+			}
+		}
+		sb.WriteString("\n")
+		if r+1 == rows {
+			break
+		}
+		// Bridge row: bridges between row r and r+1 live at Coord{Row: r,
+		// Bridge: true}.
+		for c := 0; c < cols; c++ {
+			b := a.qubitAt(r, c, true)
+			if b >= 0 {
+				fmt.Fprintf(&sb, "%-*s", cellWidth, fmt.Sprintf("[%d]", b))
+			} else {
+				sb.WriteString(strings.Repeat(" ", cellWidth))
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,86 @@
+package arch
+
+import (
+	"fmt"
+
+	"github.com/ata-pattern/ataqc/internal/graph"
+)
+
+// Sycamore returns a rows x cols rotated-square-lattice (Google Sycamore)
+// architecture. Qubit (r,c) has index r*cols+c. There are no intra-row
+// couplings: qubit (r,c) couples "vertically" to (r+1,c) and diagonally to
+// (r+1,c+1) when r is even, or to (r+1,c-1) when r is odd.
+//
+// Two adjacent rows therefore induce a zig-zag path over their 2*cols
+// qubits — the structure §3.2.1 exploits for the 2xUnit sub-problem — and
+// the parallel vertical couplings implement the unit exchange in one step
+// (Fig 10b). Units are the horizontal rows (Fig 10a). No Hamiltonian snake
+// is recorded: the structured ATA solution never needs one.
+func Sycamore(rows, cols int) *Arch {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("arch: invalid sycamore %dx%d", rows, cols))
+	}
+	n := rows * cols
+	g := graph.New(n)
+	coords := make([]Coord, n)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			coords[id(r, c)] = Coord{Row: r, Col: c}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c))
+				if r%2 == 0 && c+1 < cols {
+					g.AddEdge(id(r, c), id(r+1, c+1))
+				}
+				if r%2 == 1 && c-1 >= 0 {
+					g.AddEdge(id(r, c), id(r+1, c-1))
+				}
+			}
+		}
+	}
+	units := make([][]int, rows)
+	for r := 0; r < rows; r++ {
+		units[r] = make([]int, cols)
+		for c := 0; c < cols; c++ {
+			units[r][c] = id(r, c)
+		}
+	}
+	return &Arch{
+		Name:   fmt.Sprintf("sycamore-%dx%d", rows, cols),
+		Kind:   KindSycamore,
+		G:      g,
+		Coords: coords,
+		Units:  units,
+	}
+}
+
+// SycamoreN returns a near-square Sycamore with at least n qubits.
+func SycamoreN(n int) *Arch {
+	rows, cols := nearSquare(n)
+	return Sycamore(rows, cols)
+}
+
+// ZigZagPath returns, for two adjacent Sycamore rows r and r+1, the induced
+// zig-zag path over their 2*cols qubits, in path order. Consecutive entries
+// are coupled. For even r the path is (r+1,0),(r,0),(r+1,1),(r,1),...; for
+// odd r it is (r,0),(r+1,0),(r,1),(r+1,1),....
+func (a *Arch) ZigZagPath(r int) []int {
+	if a.Kind != KindSycamore {
+		panic("arch: ZigZagPath requires a sycamore architecture")
+	}
+	top, bottom := a.Units[r], a.Units[r+1]
+	cols := len(top)
+	path := make([]int, 0, 2*cols)
+	if r%2 == 0 {
+		// Edges: (r,c)-(r+1,c) and (r,c)-(r+1,c+1).
+		for c := 0; c < cols; c++ {
+			path = append(path, bottom[c], top[c])
+		}
+	} else {
+		// Edges: (r,c)-(r+1,c) and (r,c)-(r+1,c-1).
+		for c := 0; c < cols; c++ {
+			path = append(path, top[c], bottom[c])
+		}
+	}
+	return path
+}

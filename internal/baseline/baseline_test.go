@@ -1,0 +1,149 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/circuit"
+	"github.com/ata-pattern/ataqc/internal/graph"
+)
+
+type compiler func(*arch.Arch, *graph.Graph, float64) (*Result, error)
+
+func compilers() map[string]compiler {
+	return map[string]compiler{
+		"paulihedral": Paulihedral,
+		"qaim":        QAIM,
+		"2qan":        TwoQAN,
+	}
+}
+
+func TestBaselinesProduceValidCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	archs := []*arch.Arch{
+		arch.Grid(5, 5),
+		arch.Sycamore(5, 5),
+		arch.HeavyHex(2, 8),
+		arch.Mumbai(),
+	}
+	for name, comp := range compilers() {
+		for _, a := range archs {
+			n := a.N()
+			if n > 20 {
+				n = 20
+			}
+			p := graph.GnpConnected(n, 0.3, rng)
+			res, err := comp(a, p, 1)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, a.Name, err)
+			}
+			if err := circuit.Validate(res.Circuit, a, p, res.Initial); err != nil {
+				t.Fatalf("%s/%s: invalid circuit: %v", name, a.Name, err)
+			}
+		}
+	}
+}
+
+func TestBaselinesHandleClique(t *testing.T) {
+	a := arch.Grid(4, 4)
+	p := graph.Complete(16)
+	for name, comp := range compilers() {
+		res, err := comp(a, p, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := circuit.Validate(res.Circuit, a, p, res.Initial); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestBaselinesHandleTrivialProblems(t *testing.T) {
+	a := arch.Line(4)
+	p := graph.New(4)
+	p.AddEdge(0, 1)
+	for name, comp := range compilers() {
+		res, err := comp(a, p, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := circuit.Validate(res.Circuit, a, p, res.Initial); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestMatchingLayersDisjointAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := graph.Gnp(20, 0.4, rng)
+	layers := matchingLayers(p)
+	total := 0
+	for li, layer := range layers {
+		used := map[int]bool{}
+		for _, e := range layer {
+			if used[e.U] || used[e.V] {
+				t.Fatalf("layer %d not a matching", li)
+			}
+			used[e.U], used[e.V] = true, true
+			total++
+		}
+	}
+	if total != p.M() {
+		t.Fatalf("layers cover %d of %d edges", total, p.M())
+	}
+}
+
+func TestQuadraticPlacementImprovesDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := arch.Grid(5, 5)
+	p := graph.GnpConnected(25, 0.2, rng)
+	// Start from a deliberately bad mapping: reversed order.
+	bad := make([]int, 25)
+	for i := range bad {
+		bad[i] = 24 - i
+	}
+	improved := quadraticPlacement(a, p, bad)
+	cost := func(m []int) int {
+		c := 0
+		for _, e := range p.Edges() {
+			c += a.Dist(m[e.U], m[e.V])
+		}
+		return c
+	}
+	badCopy := make([]int, 25)
+	for i := range badCopy {
+		badCopy[i] = 24 - i
+	}
+	if cost(improved) > cost(badCopy) {
+		t.Fatalf("placement got worse: %d vs %d", cost(improved), cost(badCopy))
+	}
+}
+
+func TestTwoQANUsesGateUnifying(t *testing.T) {
+	// On a line with a dense problem, routing must produce some ZZSwap
+	// (unified) gates.
+	a := arch.Line(6)
+	p := graph.Complete(6)
+	res, err := TwoQAN(a, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Circuit.GateCount()[circuit.GateZZSwap] == 0 {
+		t.Fatal("2QAN produced no unified gates on a line clique")
+	}
+}
+
+func TestConnectivityStrengthPlacementValid(t *testing.T) {
+	a := arch.HeavyHex(3, 8)
+	rng := rand.New(rand.NewSource(2))
+	p := graph.GnpConnected(20, 0.3, rng)
+	m := connectivityStrengthPlacement(a, p)
+	seen := map[int]bool{}
+	for _, ph := range m {
+		if ph < 0 || ph >= a.N() || seen[ph] {
+			t.Fatalf("bad placement %v", m)
+		}
+		seen[ph] = true
+	}
+}

@@ -1,0 +1,181 @@
+package baseline
+
+import (
+	"sort"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/circuit"
+	"github.com/ata-pattern/ataqc/internal/graph"
+	"github.com/ata-pattern/ataqc/internal/greedy"
+)
+
+// TwoQAN models the 2QAN compiler (Lao & Browne, ISCA 2022): a
+// quadratic-cost placement phase that iteratively improves the initial
+// mapping to minimise the total coupling distance of all gates, followed by
+// routing that exploits *gate unifying* — whenever a SWAP is inserted on a
+// pair whose occupants still owe a program gate, the gate merges into the
+// SWAP (3 CX for both). The placement is what makes 2QAN strong on small
+// circuits and what blows up its compile time on large ones (§7.2: its
+// placement searches all qubit pairs each pass).
+func TwoQAN(a *arch.Arch, problem *graph.Graph, angle float64) (*Result, error) {
+	if angle == 0 {
+		angle = 1
+	}
+	initial := quadraticPlacement(a, problem, greedy.InitialMapping(a, problem))
+	b := circuit.NewBuilder(a, problem.N(), initial)
+
+	// Routing: commuting-aware greedy with unifying. Adjacent gates run
+	// every iteration — unified into a ZZSwap when moving the pair also
+	// brings other pending work closer — and the remaining gates route one
+	// step at a time.
+	pending := problem.Edges()
+	dist := a.Distances()
+
+	// unifyBenefit: total distance change for other pending gates if the
+	// occupants of (pu, pv) are exchanged.
+	unifyBenefit := func(e graph.Edge, pu, pv int) int {
+		benefit := 0
+		for _, f := range pending {
+			if f == e {
+				continue
+			}
+			fu, fv := b.PhysOf(f.U), b.PhysOf(f.V)
+			before := dist[fu][fv]
+			nu, nv := fu, fv
+			if fu == pu {
+				nu = pv
+			} else if fu == pv {
+				nu = pu
+			}
+			if fv == pu {
+				nv = pv
+			} else if fv == pv {
+				nv = pu
+			}
+			benefit += before - dist[nu][nv]
+		}
+		return benefit
+	}
+
+	guard := 0
+	for len(pending) > 0 {
+		if guard++; guard > 200*a.N()+1000 {
+			break
+		}
+		// Phase 1: execute adjacent gates, unifying when beneficial.
+		keep := pending[:0]
+		busy := map[int]bool{}
+		progressed := false
+		for _, e := range pending {
+			pu, pv := b.PhysOf(e.U), b.PhysOf(e.V)
+			if !a.G.HasEdge(pu, pv) || busy[pu] || busy[pv] {
+				keep = append(keep, e)
+				continue
+			}
+			if unifyBenefit(e, pu, pv) > 0 {
+				b.ZZSwap(pu, pv, angle, e)
+			} else {
+				b.ZZ(pu, pv, angle, e)
+			}
+			busy[pu], busy[pv] = true, true
+			progressed = true
+		}
+		pending = keep
+		if len(pending) == 0 {
+			break
+		}
+		// Phase 2: move the closest unsatisfied gates one step.
+		sort.SliceStable(pending, func(i, j int) bool {
+			di := dist[b.PhysOf(pending[i].U)][b.PhysOf(pending[i].V)]
+			dj := dist[b.PhysOf(pending[j].U)][b.PhysOf(pending[j].V)]
+			if di != dj {
+				return di < dj
+			}
+			if pending[i].U != pending[j].U {
+				return pending[i].U < pending[j].U
+			}
+			return pending[i].V < pending[j].V
+		})
+		for _, e := range pending {
+			pu, pv := b.PhysOf(e.U), b.PhysOf(e.V)
+			if busy[pu] || busy[pv] {
+				continue
+			}
+			d := dist[pu][pv]
+			if d <= 1 {
+				continue
+			}
+			for _, w := range a.G.Neighbors(pu) {
+				if busy[w] || dist[w][pv] >= d {
+					continue
+				}
+				b.Swap(pu, w)
+				busy[pu], busy[w] = true, true
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			e := pending[0]
+			pu, pv := b.PhysOf(e.U), b.PhysOf(e.V)
+			d := dist[pu][pv]
+			for _, w := range a.G.Neighbors(pu) {
+				if dist[w][pv] < d {
+					b.Swap(pu, w)
+					break
+				}
+			}
+		}
+	}
+	if len(pending) > 0 {
+		if err := routeLayer(a, b, pending, angle, true); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Circuit: b.C, Initial: b.InitialMapping(), Name: "2qan"}, nil
+}
+
+// quadraticPlacement hill-climbs the placement: repeatedly try swapping the
+// physical locations of two logical qubits (or moving one to a free
+// physical slot) and keep changes that reduce the total gate distance.
+// Each pass is O(n^2) candidate moves over m gates — the quadratic
+// behaviour the paper observes in 2QAN's compile time.
+func quadraticPlacement(a *arch.Arch, problem *graph.Graph, initial []int) []int {
+	mapping := append([]int(nil), initial...)
+	dist := a.Distances()
+	edges := problem.Edges()
+	adj := make([][]int, problem.N())
+	for _, e := range edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	physOf := mapping
+	// Cost contribution of logical u at physical p.
+	costAt := func(u, p int) int {
+		c := 0
+		for _, v := range adj[u] {
+			c += dist[p][physOf[v]]
+		}
+		return c
+	}
+	for pass := 0; pass < 8; pass++ {
+		improved := false
+		for u := 0; u < problem.N(); u++ {
+			for v := u + 1; v < problem.N(); v++ {
+				pu, pv := physOf[u], physOf[v]
+				before := costAt(u, pu) + costAt(v, pv)
+				physOf[u], physOf[v] = pv, pu
+				after := costAt(u, pv) + costAt(v, pu)
+				if after < before {
+					improved = true
+				} else {
+					physOf[u], physOf[v] = pu, pv
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return mapping
+}

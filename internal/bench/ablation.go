@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"math/rand"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/circuit"
+	"github.com/ata-pattern/ataqc/internal/core"
+	"github.com/ata-pattern/ataqc/internal/graph"
+	"github.com/ata-pattern/ataqc/internal/noise"
+	"github.com/ata-pattern/ataqc/internal/swapnet"
+)
+
+// RunAblations reports the design-choice ablations A1–A3 of DESIGN.md:
+//
+//	A1 gate+SWAP unification: CX cost of the structured solution with the
+//	   unified 3-CX ops versus the separate 2+3 CX equivalent;
+//	A2 structured grid ATA versus the naive snake-line pattern;
+//	A3 hybrid prediction and noise-awareness on/off.
+func RunAblations(cfg Config) (*Report, error) {
+	r := &Report{
+		ID:     "Ablations",
+		Title:  "Design-choice ablations (A1–A3)",
+		Header: []string{"ablation", "configuration", "depth", "CX", "note"},
+	}
+	side := 8
+	if cfg.Quick {
+		side = 6
+	}
+
+	// --- A1: unified gate+SWAP vs separate ops, grid clique. ---
+	a := arch.Grid(side, side)
+	clique := graph.Complete(a.N())
+	res, err := core.Compile(a, clique, core.Options{Mode: core.ModeATA})
+	if err != nil {
+		return nil, err
+	}
+	fused := res.Circuit.GateCount()[circuit.GateZZSwap]
+	r.Rows = append(r.Rows,
+		[]string{"A1-unify", "unified (3 CX per gate+SWAP)", itoa(res.Metrics.Depth), itoa(res.Metrics.CXCount), ""},
+		[]string{"A1-unify", "separate (2+3 CX equivalent)", "-", itoa(res.Metrics.CXCount + 2*fused),
+			itoa(fused) + " unified ops"},
+	)
+
+	// --- A2: structured grid ATA vs snake-line pattern (both run on the
+	// same grid; ATA picks the cheaper one per region, this shows why). ---
+	for _, variant := range []struct {
+		name string
+		run  func(st *swapnet.State, emit swapnet.EmitFunc)
+	}{
+		{"grid 1xUnit+2xUnit pattern", func(st *swapnet.State, emit swapnet.EmitFunc) {
+			swapnet.GridStructuredATA(st, arch.FullRegion(a), emit)
+		}},
+		{"snake-line pattern", func(st *swapnet.State, emit swapnet.EmitFunc) {
+			swapnet.SnakeATA(st, arch.FullRegion(a), emit)
+		}},
+	} {
+		st := swapnet.NewStateFromMapping(a, identityMapping(a.N()), swapnet.NewEdgeSet(clique))
+		var c swapnet.Counter
+		variant.run(st, c.Emit)
+		note := ""
+		if !st.Want.Empty() {
+			note = "incomplete"
+		}
+		r.Rows = append(r.Rows, []string{"A2-structure", variant.name, itoa(c.Cycles), itoa(c.CX), note})
+	}
+
+	// --- A3: prediction and noise-awareness. ---
+	n := 64
+	if cfg.Quick {
+		n = 32
+	}
+	hh := arch.HeavyHexN(n)
+	nm := noise.Synthetic(hh, cfg.Seed)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := graph.GnpConnected(n, 0.3, rng)
+	for _, variant := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"hybrid + noise-aware", core.Options{Mode: core.ModeHybrid, Noise: nm}},
+		{"hybrid + noise+crosstalk", core.Options{Mode: core.ModeHybrid, Noise: nm, CrosstalkAware: true}},
+		{"hybrid, noise-blind", core.Options{Mode: core.ModeHybrid}},
+		{"no prediction (pure greedy)", core.Options{Mode: core.ModeGreedy, Noise: nm}},
+		{"no greedy (pure pattern)", core.Options{Mode: core.ModeATA}},
+	} {
+		vres, err := core.Compile(hh, p, variant.opts)
+		if err != nil {
+			return nil, err
+		}
+		// Evaluate every variant under the same calibration so the
+		// fidelity column is comparable.
+		m := core.Measure(vres.Circuit, nm)
+		r.Rows = append(r.Rows, []string{"A3-hybrid", variant.name,
+			itoa(vres.Metrics.Depth), itoa(vres.Metrics.CXCount), "logFid " + f2(m.LogFidelity)})
+	}
+	r.Notes = append(r.Notes,
+		"A1: unifying each pattern gate with its SWAP saves 2 CX per op (5→3).",
+		"A2: both patterns are O(n); the all-unified snake wins small-grid cliques on depth while the structured pattern wins CX and parallel bipartite layers — ATA predicts both per region and emits the cheaper one.",
+		"A3: noise-aware routing improves estimated log-fidelity over noise-blind; crosstalk-awareness costs gates/fidelity on this estimate because the LogFidelity metric does not model the crosstalk it avoids; the pure pattern is the worst-case bound the hybrid only falls back to.")
+	return r, nil
+}
+
+func identityMapping(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}

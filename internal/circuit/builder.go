@@ -1,0 +1,190 @@
+package circuit
+
+import (
+	"fmt"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/graph"
+)
+
+// Builder accumulates a compiled circuit while tracking the logical-to-
+// physical qubit mapping that SWAP insertion mutates. All builder methods
+// take physical qubits and validate them against the coupling graph.
+type Builder struct {
+	C    *Circuit
+	A    *arch.Arch
+	L2P  []int // logical -> physical
+	P2L  []int // physical -> logical (-1 if no logical qubit resides there)
+	init []int // the initial mapping, for Result reporting
+}
+
+// NewBuilder returns a builder over architecture a with the given initial
+// logical-to-physical mapping. If initial is nil, the identity mapping over
+// min(nLogical, a.N()) qubits is used.
+func NewBuilder(a *arch.Arch, nLogical int, initial []int) *Builder {
+	if nLogical > a.N() {
+		panic(fmt.Sprintf("circuit: %d logical qubits exceed %d physical", nLogical, a.N()))
+	}
+	l2p := make([]int, nLogical)
+	if initial == nil {
+		for i := range l2p {
+			l2p[i] = i
+		}
+	} else {
+		if len(initial) != nLogical {
+			panic("circuit: initial mapping length mismatch")
+		}
+		copy(l2p, initial)
+	}
+	p2l := make([]int, a.N())
+	for i := range p2l {
+		p2l[i] = -1
+	}
+	for l, p := range l2p {
+		if p < 0 || p >= a.N() || p2l[p] != -1 {
+			panic(fmt.Sprintf("circuit: invalid initial mapping: logical %d -> physical %d", l, p))
+		}
+		p2l[p] = l
+	}
+	ini := make([]int, nLogical)
+	copy(ini, l2p)
+	return &Builder{C: New(a.N()), A: a, L2P: l2p, P2L: p2l, init: ini}
+}
+
+// InitialMapping returns a copy of the builder's starting mapping.
+func (b *Builder) InitialMapping() []int {
+	out := make([]int, len(b.init))
+	copy(out, b.init)
+	return out
+}
+
+func (b *Builder) checkCoupled(p, q int) {
+	if !b.A.G.HasEdge(p, q) {
+		panic(fmt.Sprintf("circuit: physical qubits %d,%d not coupled on %s", p, q, b.A.Name))
+	}
+}
+
+// ZZ appends the program gate for logical edge tag on coupled physical
+// qubits p, q.
+func (b *Builder) ZZ(p, q int, angle float64, tag graph.Edge) {
+	b.checkCoupled(p, q)
+	b.C.Append(NewZZ(p, q, angle, tag))
+}
+
+// Swap appends a SWAP on coupled physical qubits p, q and updates the
+// mapping.
+func (b *Builder) Swap(p, q int) {
+	b.checkCoupled(p, q)
+	b.C.Append(NewSwap(p, q))
+	b.swapMapping(p, q)
+}
+
+// ZZSwap appends the unified program-gate-plus-SWAP on physical p, q.
+func (b *Builder) ZZSwap(p, q int, angle float64, tag graph.Edge) {
+	b.checkCoupled(p, q)
+	b.C.Append(Gate{Kind: GateZZSwap, Q0: p, Q1: q, Angle: angle, Tag: tag, Tagged: true})
+	b.swapMapping(p, q)
+}
+
+func (b *Builder) swapMapping(p, q int) {
+	lp, lq := b.P2L[p], b.P2L[q]
+	b.P2L[p], b.P2L[q] = lq, lp
+	if lp >= 0 {
+		b.L2P[lp] = q
+	}
+	if lq >= 0 {
+		b.L2P[lq] = p
+	}
+}
+
+// PhysOf returns the current physical location of logical qubit l.
+func (b *Builder) PhysOf(l int) int { return b.L2P[l] }
+
+// LogicalAt returns the logical qubit at physical p, or -1.
+func (b *Builder) LogicalAt(p int) int { return b.P2L[p] }
+
+// FinalMapping replays the circuit's SWAPs from the initial mapping and
+// returns where each logical qubit ends up — needed to read logical
+// measurement outcomes out of the physical basis.
+func FinalMapping(c *Circuit, initial []int) []int {
+	l2p := append([]int(nil), initial...)
+	p2l := make(map[int]int, len(initial))
+	for l, p := range l2p {
+		p2l[p] = l
+	}
+	for _, g := range c.Gates {
+		if g.Kind == GateSwap || g.Kind == GateZZSwap {
+			lu, okU := p2l[g.Q0]
+			lv, okV := p2l[g.Q1]
+			if okU {
+				l2p[lu] = g.Q1
+				p2l[g.Q1] = lu
+			} else {
+				delete(p2l, g.Q1)
+			}
+			if okV {
+				l2p[lv] = g.Q0
+				p2l[g.Q0] = lv
+			} else {
+				delete(p2l, g.Q0)
+			}
+		}
+	}
+	return l2p
+}
+
+// Validate checks the compiled circuit end to end against the problem
+// graph: every 2q gate acts on coupled qubits, and replaying the circuit
+// from the initial mapping schedules every problem edge exactly once.
+// This is the correctness oracle used by compiler tests.
+func Validate(c *Circuit, a *arch.Arch, problem *graph.Graph, initial []int) error {
+	p2l := make([]int, a.N())
+	for i := range p2l {
+		p2l[i] = -1
+	}
+	for l, p := range initial {
+		if p < 0 || p >= a.N() {
+			return fmt.Errorf("initial mapping: logical %d -> invalid physical %d", l, p)
+		}
+		if p2l[p] != -1 {
+			return fmt.Errorf("initial mapping: physical %d assigned twice", p)
+		}
+		p2l[p] = l
+	}
+	done := make(map[graph.Edge]int)
+	for i, g := range c.Gates {
+		if !g.Kind.TwoQubit() {
+			continue
+		}
+		if !a.G.HasEdge(g.Q0, g.Q1) {
+			return fmt.Errorf("gate %d (%v) on uncoupled physical pair (%d,%d)", i, g.Kind, g.Q0, g.Q1)
+		}
+		if g.Kind == GateZZ || g.Kind == GateZZSwap {
+			l0, l1 := p2l[g.Q0], p2l[g.Q1]
+			if l0 < 0 || l1 < 0 {
+				return fmt.Errorf("gate %d: program gate on unmapped qubit", i)
+			}
+			e := graph.NewEdge(l0, l1)
+			if !problem.HasEdge(l0, l1) {
+				return fmt.Errorf("gate %d: program gate on non-edge %v", i, e)
+			}
+			if g.Tagged && g.Tag != e {
+				return fmt.Errorf("gate %d: tag %v but logical pair %v", i, g.Tag, e)
+			}
+			done[e]++
+		}
+		if g.Kind == GateSwap || g.Kind == GateZZSwap {
+			p2l[g.Q0], p2l[g.Q1] = p2l[g.Q1], p2l[g.Q0]
+		}
+	}
+	for _, e := range problem.Edges() {
+		switch done[e] {
+		case 0:
+			return fmt.Errorf("problem edge %v never scheduled", e)
+		case 1:
+		default:
+			return fmt.Errorf("problem edge %v scheduled %d times", e, done[e])
+		}
+	}
+	return nil
+}

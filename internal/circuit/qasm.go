@@ -1,0 +1,34 @@
+package circuit
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteQASM emits the circuit as OpenQASM 2.0 after decomposition into the
+// CX + {H, RX, RZ} basis, so the output runs on any QASM toolchain.
+func (c *Circuit) WriteQASM(w io.Writer) error {
+	d := c.Decompose()
+	if _, err := fmt.Fprintf(w, "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[%d];\n", c.NQubits); err != nil {
+		return err
+	}
+	for _, g := range d.Gates {
+		var err error
+		switch g.Kind {
+		case GateH:
+			_, err = fmt.Fprintf(w, "h q[%d];\n", g.Q0)
+		case GateRX:
+			_, err = fmt.Fprintf(w, "rx(%.12g) q[%d];\n", g.Angle, g.Q0)
+		case GateRZ:
+			_, err = fmt.Fprintf(w, "rz(%.12g) q[%d];\n", g.Angle, g.Q0)
+		case GateCNOT:
+			_, err = fmt.Fprintf(w, "cx q[%d],q[%d];\n", g.Q0, g.Q1)
+		default:
+			err = fmt.Errorf("circuit: %v survived decomposition", g.Kind)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package circuit
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+
+	"github.com/ata-pattern/ataqc/internal/graph"
+)
+
+func TestWriteQASMStructure(t *testing.T) {
+	c := New(3)
+	c.Append(
+		Gate{Kind: GateH, Q0: 0, Q1: -1},
+		NewZZ(0, 1, 0.5, graph.NewEdge(0, 1)),
+		NewSwap(1, 2),
+		Gate{Kind: GateZZSwap, Q0: 0, Q1: 1, Angle: 0.25},
+		Gate{Kind: GateRX, Q0: 2, Q1: -1, Angle: 1.5},
+	)
+	var sb strings.Builder
+	if err := c.WriteQASM(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	sc := bufio.NewScanner(strings.NewReader(out))
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if lines[0] != "OPENQASM 2.0;" || lines[1] != `include "qelib1.inc";` || lines[2] != "qreg q[3];" {
+		t.Fatalf("header wrong: %v", lines[:3])
+	}
+	// Every gate line must be one of the allowed forms.
+	cx, rz, rx, h := 0, 0, 0, 0
+	for _, l := range lines[3:] {
+		switch {
+		case strings.HasPrefix(l, "cx q["):
+			cx++
+		case strings.HasPrefix(l, "rz("):
+			rz++
+		case strings.HasPrefix(l, "rx("):
+			rx++
+		case strings.HasPrefix(l, "h q["):
+			h++
+		default:
+			t.Fatalf("unexpected QASM line %q", l)
+		}
+	}
+	// ZZ = 2 cx, SWAP = 3 cx, ZZSwap = 3 cx.
+	if cx != 8 {
+		t.Fatalf("cx lines = %d, want 8", cx)
+	}
+	if rz != 2 || rx != 1 || h != 1 {
+		t.Fatalf("1q lines: rz=%d rx=%d h=%d", rz, rx, h)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	c := New(100)
+	c.Append(
+		NewZZ(90, 7, 0.3, graph.NewEdge(0, 1)),
+		Gate{Kind: GateH, Q0: 42, Q1: -1},
+	)
+	comp, remap := c.Compact()
+	if comp.NQubits != 3 {
+		t.Fatalf("compact qubits = %d", comp.NQubits)
+	}
+	if remap[90] != 0 || remap[7] != 1 || remap[42] != 2 {
+		t.Fatalf("remap %v", remap)
+	}
+	if comp.Gates[0].Q0 != 0 || comp.Gates[0].Q1 != 1 || comp.Gates[1].Q0 != 2 {
+		t.Fatalf("gates not relabelled: %+v", comp.Gates)
+	}
+	if comp.Gates[1].Q1 != -1 {
+		t.Fatal("1q gate Q1 not normalised")
+	}
+}
+
+func TestFinalMappingWithEmptySlots(t *testing.T) {
+	// Logical 0 at phys 2; swap with empty phys 3, then back.
+	c := New(4)
+	c.Append(NewSwap(2, 3), NewSwap(3, 2))
+	final := FinalMapping(c, []int{2})
+	if final[0] != 2 {
+		t.Fatalf("final %v", final)
+	}
+	c2 := New(4)
+	c2.Append(NewSwap(2, 3))
+	if f := FinalMapping(c2, []int{2}); f[0] != 3 {
+		t.Fatalf("final %v", f)
+	}
+}

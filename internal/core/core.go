@@ -1,0 +1,266 @@
+// Package core implements the paper's primary contribution: the hybrid
+// compiler framework of §5–6 that takes the best of the greedy heuristic
+// and the structured all-to-all (ATA) solution.
+//
+// The framework runs the greedy scheduler (internal/greedy) and, at
+// checkpoints where the qubit mapping changed, predicts the cost of
+// finishing the rest of the circuit by following the ATA pattern restricted
+// to the detected interaction regions (§6.3 range detection). When all
+// gates are processed, the compiled-circuit selector (§6.4) compares the
+// pure-greedy circuit against every recorded greedy-prefix + ATA-suffix
+// hybrid — including the prefix-0 candidate, which is the pure ATA solution
+// — and materialises the one with the best cost F. Since the pure ATA
+// candidate is always in the pool, the output is never worse than the
+// structured clique-derived solution (Theorem 6.1), giving the linear
+// worst-case depth bound, while sparse inputs benefit from the greedy
+// prefix.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/circuit"
+	"github.com/ata-pattern/ataqc/internal/graph"
+	"github.com/ata-pattern/ataqc/internal/greedy"
+	"github.com/ata-pattern/ataqc/internal/noise"
+	"github.com/ata-pattern/ataqc/internal/swapnet"
+)
+
+// Options configures the hybrid compiler.
+type Options struct {
+	// Noise enables error-variability-aware scheduling and fidelity terms.
+	Noise *noise.Model
+	// CrosstalkAware adds crosstalk edges to the greedy conflict graph.
+	CrosstalkAware bool
+	// Angle is recorded on program gates (default 1; QAOA rebinds angles).
+	Angle float64
+	// Alpha weights depth against fidelity in the selector cost
+	// F = alpha*(fD/oD) + (1-alpha)*(fidelity term); default 0.5 (§6.4).
+	Alpha float64
+	// MaxPredictions caps how many greedy checkpoints are evaluated with an
+	// ATA prediction (the paper predicts at every mapping change; we
+	// decimate evenly for scalability). Default 48.
+	MaxPredictions int
+	// Mode selects the compilation strategy; ModeHybrid is the paper's.
+	Mode Mode
+	// InitialMapping overrides the default compact placement.
+	InitialMapping []int
+}
+
+// Mode selects between the full hybrid framework and its ablations.
+type Mode int
+
+const (
+	// ModeHybrid is the full framework (greedy + ATA prediction + selector).
+	ModeHybrid Mode = iota
+	// ModeGreedy is the pure greedy heuristic (the "greedy" bar of Fig 17).
+	ModeGreedy
+	// ModeATA follows the structured solution exactly, skipping absent
+	// gates (the "solver"-guided bar of Fig 17).
+	ModeATA
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeGreedy:
+		return "greedy"
+	case ModeATA:
+		return "ata"
+	default:
+		return "hybrid"
+	}
+}
+
+// Metrics summarises a compiled circuit with the paper's evaluation
+// measures (§7.1).
+type Metrics struct {
+	Depth         int     // critical path after CX + 1q decomposition
+	TwoQubitDepth int     // critical path counting only 2q gates
+	CXCount       int     // total CX after decomposition
+	ProgramGates  int     // ZZ (+ZZSwap) program gates scheduled
+	Swaps         int     // SWAP gates inserted (ZZSwap counts as both)
+	LogFidelity   float64 // noise-model estimate (0 when no model)
+	CompileTime   time.Duration
+}
+
+// Result is a compiled circuit plus provenance.
+type Result struct {
+	Circuit *circuit.Circuit
+	Initial []int
+	// Source describes which candidate won: "greedy", "ata", or
+	// "hybrid@<prefix>" for a greedy-prefix + ATA-suffix circuit.
+	Source  string
+	Metrics Metrics
+}
+
+// Compile schedules every edge of problem onto a.
+func Compile(a *arch.Arch, problem *graph.Graph, opts Options) (*Result, error) {
+	start := time.Now()
+	if opts.Angle == 0 {
+		opts.Angle = 1
+	}
+	if opts.Alpha == 0 {
+		opts.Alpha = 0.5
+	}
+	if opts.MaxPredictions == 0 {
+		opts.MaxPredictions = 48
+	}
+	initial := opts.InitialMapping
+	if initial == nil {
+		initial = greedy.InitialMapping(a, problem)
+		// Refine with a bounded hill-climb; passes shrink with size to keep
+		// compilation near-linear (Fig 26).
+		passes := 2048 / (problem.N() + 1)
+		if passes < 1 {
+			passes = 1
+		}
+		if passes > 6 {
+			passes = 6
+		}
+		initial = greedy.RefinePlacement(a, problem, initial, passes)
+	}
+	if opts.Mode != ModeGreedy && !swapnet.HasATA(a) {
+		return nil, fmt.Errorf("core: architecture %s has no structured pattern; use ModeGreedy", a.Name)
+	}
+
+	var res *Result
+	var err error
+	switch opts.Mode {
+	case ModeGreedy:
+		res, err = compileGreedy(a, problem, initial, opts)
+	case ModeATA:
+		res, err = compileATA(a, problem, initial, opts)
+	default:
+		res, err = compileHybrid(a, problem, initial, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if vErr := circuit.Validate(res.Circuit, a, problem, res.Initial); vErr != nil {
+		return nil, fmt.Errorf("core: produced invalid circuit: %w", vErr)
+	}
+	res.Metrics = Measure(res.Circuit, opts.Noise)
+	res.Metrics.CompileTime = time.Since(start)
+	return res, nil
+}
+
+// Measure computes the evaluation metrics of a compiled circuit.
+func Measure(c *circuit.Circuit, nm *noise.Model) Metrics {
+	counts := c.GateCount()
+	m := Metrics{
+		Depth:         c.DecomposedDepth(),
+		TwoQubitDepth: c.TwoQubitDepth(),
+		CXCount:       c.CXCount(),
+		ProgramGates:  counts[circuit.GateZZ] + counts[circuit.GateZZSwap],
+		Swaps:         counts[circuit.GateSwap] + counts[circuit.GateZZSwap],
+	}
+	if nm != nil {
+		m.LogFidelity = nm.LogFidelity(c)
+	}
+	return m
+}
+
+func compileGreedy(a *arch.Arch, problem *graph.Graph, initial []int, opts Options) (*Result, error) {
+	g, err := greedy.Compile(a, problem, initial, greedy.Options{
+		Noise:          opts.Noise,
+		CrosstalkAware: opts.CrosstalkAware,
+		Angle:          opts.Angle,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Circuit: g.Circuit, Initial: g.Initial, Source: "greedy"}, nil
+}
+
+func compileATA(a *arch.Arch, problem *graph.Graph, initial []int, opts Options) (*Result, error) {
+	b := circuit.NewBuilder(a, problem.N(), initial)
+	st := swapnet.NewStateFromMapping(a, initial, swapnet.NewEdgeSet(problem))
+	if err := runATARegions(st, b, opts.Angle); err != nil {
+		return nil, err
+	}
+	return &Result{Circuit: b.C, Initial: b.InitialMapping(), Source: "ata"}, nil
+}
+
+// runATARegions detects the interaction regions of the remaining problem
+// (§6.3) and runs the structured pattern inside each, appending to b.
+func runATARegions(st *swapnet.State, b *circuit.Builder, angle float64) error {
+	regions := detectRegions(st)
+	for _, r := range regions {
+		if err := swapnet.ATA(st, r, builderEmit(b, angle)); err != nil {
+			return err
+		}
+	}
+	if !st.Want.Empty() {
+		// Regions are merged when overlapping, so this indicates a pattern
+		// gap; fall back to one full-architecture pass.
+		if err := swapnet.ATA(st, arch.FullRegion(st.A), builderEmit(b, angle)); err != nil {
+			return err
+		}
+	}
+	if !st.Want.Empty() {
+		return fmt.Errorf("core: ATA left %d gates unscheduled", st.Want.Len())
+	}
+	return nil
+}
+
+// builderEmit adapts swapnet steps onto a circuit builder. The builder's
+// mapping stays in lockstep with the pattern state because both apply the
+// same swaps in the same order.
+func builderEmit(b *circuit.Builder, angle float64) swapnet.EmitFunc {
+	return func(s swapnet.Step) {
+		for _, g := range s.Compute {
+			if g.Fused {
+				b.ZZSwap(g.P, g.Q, angle, g.Tag)
+			} else {
+				b.ZZ(g.P, g.Q, angle, g.Tag)
+			}
+		}
+		for _, layer := range s.Swaps {
+			for _, e := range layer {
+				b.Swap(e.U, e.V)
+			}
+		}
+	}
+}
+
+// detectRegions finds the disjoint connected components of the remaining
+// problem graph, maps each to its enclosing architecture region, and merges
+// overlapping regions (§6.3, Fig 19).
+func detectRegions(st *swapnet.State) []arch.Region {
+	edges := st.Want.Edges()
+	if len(edges) == 0 {
+		return nil
+	}
+	uf := graph.NewUnionFind(len(st.L2P))
+	for _, e := range edges {
+		uf.Union(e.U, e.V)
+	}
+	compPhys := make(map[int][]int)
+	for _, e := range edges {
+		root := uf.Find(e.U)
+		compPhys[root] = append(compPhys[root], st.L2P[e.U], st.L2P[e.V])
+	}
+	var regions []arch.Region
+	for _, phys := range compPhys {
+		regions = append(regions, swapnet.NormalizeRegion(st.A, arch.EnclosingRegion(st.A, phys)))
+	}
+	// Merge overlaps to a fixpoint.
+	for {
+		merged := false
+		for i := 0; i < len(regions) && !merged; i++ {
+			for j := i + 1; j < len(regions); j++ {
+				if regions[i].Overlaps(regions[j]) {
+					regions[i] = swapnet.NormalizeRegion(st.A, regions[i].Union(regions[j]))
+					regions = append(regions[:j], regions[j+1:]...)
+					merged = true
+					break
+				}
+			}
+		}
+		if !merged {
+			return regions
+		}
+	}
+}

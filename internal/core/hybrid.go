@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/circuit"
+	"github.com/ata-pattern/ataqc/internal/graph"
+	"github.com/ata-pattern/ataqc/internal/greedy"
+	"github.com/ata-pattern/ataqc/internal/swapnet"
+)
+
+// checkpoint is a greedy-compilation branch point: the circuit prefix and
+// mapping after a cycle in which SWAPs changed the placement.
+type checkpoint struct {
+	prefixLen int   // gates of the greedy circuit included
+	l2p       []int // mapping at that point
+	cycle     int   // greedy scheduler cycles consumed
+}
+
+// compileHybrid is the full framework of Fig 18: greedy processing with ATA
+// pattern prediction at mapping changes, then the compiled-circuits
+// selector.
+func compileHybrid(a *arch.Arch, problem *graph.Graph, initial []int, opts Options) (*Result, error) {
+	// --- Greedy processing, recording decimated checkpoints. ---
+	var cps []checkpoint
+	stride := 1
+	g, err := greedy.Compile(a, problem, initial, greedy.Options{
+		Noise:          opts.Noise,
+		CrosstalkAware: opts.CrosstalkAware,
+		Angle:          opts.Angle,
+		Checkpoint: func(prefixLen int, l2p []int, cycle int) {
+			if cycle%stride != 0 {
+				return
+			}
+			cps = append(cps, checkpoint{prefixLen: prefixLen, l2p: l2p, cycle: cycle})
+			if len(cps) > 2*opts.MaxPredictions {
+				// Decimate: keep every other checkpoint, double the stride.
+				kept := cps[:0]
+				for i := 0; i < len(cps); i += 2 {
+					kept = append(kept, cps[i])
+				}
+				cps = kept
+				stride *= 2
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// The prefix-0 checkpoint makes the pure ATA solution (cc0) a selector
+	// candidate, which is what guarantees Theorem 6.1.
+	cps = append([]checkpoint{{prefixLen: 0, l2p: initial, cycle: 0}}, cps...)
+
+	// Prefix sums over the greedy circuit for O(1) per-checkpoint metrics.
+	gates := g.Circuit.Gates
+	cxPre := make([]int, len(gates)+1)
+	lfPre := make([]float64, len(gates)+1)
+	for i, gt := range gates {
+		cxPre[i+1] = cxPre[i] + gt.Kind.CXCost()
+		lf := 0.0
+		if opts.Noise != nil && gt.Kind.TwoQubit() {
+			lf = float64(gt.Kind.CXCost()) * math.Log1p(-opts.Noise.EdgeError(gt.Q0, gt.Q1))
+		}
+		lfPre[i+1] = lfPre[i] + lf
+	}
+	oCycles := g.Cycles
+	oCX := cxPre[len(gates)]
+	oLF := lfPre[len(gates)]
+
+	// --- ATA pattern prediction per checkpoint (§6.3). ---
+	type candidate struct {
+		cp     checkpoint
+		f      float64
+		hybrid bool
+	}
+	bestF := 1.0 // pure greedy: fD/oD = 1 and fidelity ratio = 1
+	var best *candidate
+	for i := range cps {
+		cp := cps[i]
+		want := remainingAfterPrefix(problem, gates[:cp.prefixLen])
+		if want.Empty() {
+			continue
+		}
+		st := swapnet.NewStateFromMapping(a, cp.l2p, want)
+		pc, perr := predictATA(st, opts)
+		if perr != nil {
+			continue
+		}
+		cycles := cp.cycle + pc.cycles
+		cx := cxPre[cp.prefixLen] + pc.cx
+		lf := lfPre[cp.prefixLen] + pc.logFid
+		f := selectorCost(opts, cycles, oCycles, cx, oCX, lf, oLF)
+		if f < bestF {
+			bestF = f
+			best = &candidate{cp: cp, f: f, hybrid: true}
+		}
+	}
+
+	if best == nil {
+		return &Result{Circuit: g.Circuit, Initial: g.Initial, Source: "greedy"}, nil
+	}
+
+	// --- Materialise the winning greedy-prefix + ATA-suffix circuit. ---
+	b := circuit.NewBuilder(a, problem.N(), initial)
+	for _, gt := range gates[:best.cp.prefixLen] {
+		switch gt.Kind {
+		case circuit.GateZZ:
+			b.ZZ(gt.Q0, gt.Q1, gt.Angle, gt.Tag)
+		case circuit.GateSwap:
+			b.Swap(gt.Q0, gt.Q1)
+		default:
+			b.C.Append(gt)
+		}
+	}
+	want := remainingAfterPrefix(problem, gates[:best.cp.prefixLen])
+	st := swapnet.NewStateFromMapping(a, best.cp.l2p, want)
+	if err := runATARegions(st, b, opts.Angle); err != nil {
+		return nil, err
+	}
+	source := "ata"
+	if best.cp.prefixLen > 0 {
+		source = "hybrid"
+	}
+	return &Result{Circuit: b.C, Initial: b.InitialMapping(), Source: source}, nil
+}
+
+// remainingAfterPrefix returns the problem edges not scheduled within the
+// given greedy gate prefix.
+func remainingAfterPrefix(problem *graph.Graph, prefix []circuit.Gate) *swapnet.EdgeSet {
+	want := swapnet.NewEdgeSet(problem)
+	for _, g := range prefix {
+		if g.Kind == circuit.GateZZ || g.Kind == circuit.GateZZSwap {
+			want.Remove(g.Tag)
+		}
+	}
+	return want
+}
+
+// prediction aggregates the ATA completion estimate over the detected
+// regions: regions are disjoint so their cycle counts run in parallel (max)
+// while gate costs add up.
+type prediction struct {
+	cycles int
+	cx     int
+	logFid float64
+}
+
+func predictATA(st *swapnet.State, opts Options) (prediction, error) {
+	var out prediction
+	for _, r := range detectRegions(st) {
+		var cnt predictCounter
+		cnt.opts = &opts
+		if err := swapnet.ATA(st, r, cnt.emit); err != nil {
+			return out, err
+		}
+		if cnt.cycles > out.cycles {
+			out.cycles = cnt.cycles
+		}
+		out.cx += cnt.cx
+		out.logFid += cnt.logFid
+	}
+	if !st.Want.Empty() {
+		var cnt predictCounter
+		cnt.opts = &opts
+		if err := swapnet.ATA(st, arch.FullRegion(st.A), cnt.emit); err != nil {
+			return out, err
+		}
+		out.cycles += cnt.cycles
+		out.cx += cnt.cx
+		out.logFid += cnt.logFid
+	}
+	return out, nil
+}
+
+type predictCounter struct {
+	opts   *Options
+	cycles int
+	cx     int
+	logFid float64
+}
+
+func (c *predictCounter) emit(s swapnet.Step) {
+	c.cycles += s.Depth()
+	edgeLF := func(p, q int, n int) {
+		if c.opts.Noise != nil {
+			c.logFid += float64(n) * math.Log1p(-c.opts.Noise.EdgeError(p, q))
+		}
+	}
+	for _, g := range s.Compute {
+		if g.Fused {
+			c.cx += 3
+			edgeLF(g.P, g.Q, 3)
+		} else {
+			c.cx += 2
+			edgeLF(g.P, g.Q, 2)
+		}
+	}
+	for _, l := range s.Swaps {
+		c.cx += 3 * len(l)
+		for _, e := range l {
+			edgeLF(e.U, e.V, 3)
+		}
+	}
+}
+
+// selectorCost is the cost F of §6.4: alpha weighs normalised depth, and
+// (1-alpha) a fidelity ratio — log-fidelity ratio under a noise model,
+// CX-count ratio otherwise. Smaller is better; pure greedy scores exactly 1.
+func selectorCost(opts Options, cycles, oCycles, cx, oCX int, lf, oLF float64) float64 {
+	if oCycles == 0 {
+		oCycles = 1
+	}
+	depthTerm := float64(cycles) / float64(oCycles)
+	var fidTerm float64
+	if opts.Noise != nil && oLF < 0 {
+		fidTerm = lf / oLF // both negative; <1 means candidate loses less fidelity
+	} else {
+		if oCX == 0 {
+			oCX = 1
+		}
+		fidTerm = float64(cx) / float64(oCX)
+	}
+	return opts.Alpha*depthTerm + (1-opts.Alpha)*fidTerm
+}

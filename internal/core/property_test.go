@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/circuit"
+	"github.com/ata-pattern/ataqc/internal/graph"
+	"github.com/ata-pattern/ataqc/internal/noise"
+)
+
+// TestCompilePropertyAllModesValid: random architecture/problem/mode
+// combinations always produce circuits that pass end-to-end validation
+// (Compile itself validates, so this asserts no error and sane metrics).
+func TestCompilePropertyAllModesValid(t *testing.T) {
+	builders := []func(int) *arch.Arch{
+		func(n int) *arch.Arch { return arch.GridN(n) },
+		func(n int) *arch.Arch { return arch.SycamoreN(n) },
+		func(n int) *arch.Arch { return arch.HeavyHexN(n) },
+		func(n int) *arch.Arch { return arch.HexagonN(n) },
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(20)
+		a := builders[rng.Intn(len(builders))](n)
+		p := graph.GnpConnected(n, 0.15+0.6*rng.Float64(), rng)
+		mode := Mode(rng.Intn(3))
+		res, err := Compile(a, p, Options{Mode: mode})
+		if err != nil {
+			t.Logf("seed %d (%s, %v): %v", seed, a.Name, mode, err)
+			return false
+		}
+		return res.Metrics.ProgramGates == p.M() && res.Metrics.Depth > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAlphaSteersSelector: alpha near 1 optimises depth, alpha near 0
+// optimises gate count; the selected circuits must reflect the preference.
+func TestAlphaSteersSelector(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	a := arch.Grid(6, 6)
+	p := graph.GnpConnected(36, 0.5, rng)
+	deep, err := Compile(a, p, Options{Mode: ModeHybrid, Alpha: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lean, err := Compile(a, p, Options{Mode: ModeHybrid, Alpha: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.Metrics.Depth > lean.Metrics.Depth && deep.Metrics.CXCount > lean.Metrics.CXCount {
+		t.Fatalf("alpha=0.95 lost on both axes: depth %d vs %d, cx %d vs %d",
+			deep.Metrics.Depth, lean.Metrics.Depth, deep.Metrics.CXCount, lean.Metrics.CXCount)
+	}
+	if deep.Metrics.Depth > lean.Metrics.Depth {
+		t.Errorf("alpha=0.95 depth %d exceeds alpha=0.05 depth %d",
+			deep.Metrics.Depth, lean.Metrics.Depth)
+	}
+}
+
+// TestMaxPredictionsOneStillValid: the decimation edge case (a single
+// prediction budget) must not break correctness or the Theorem 6.1 pool.
+func TestMaxPredictionsOneStillValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := arch.HeavyHexN(32)
+	p := graph.GnpConnected(32, 0.4, rng)
+	res, err := Compile(a, p, Options{Mode: ModeHybrid, MaxPredictions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.ProgramGates != p.M() {
+		t.Fatal("gates missing")
+	}
+}
+
+// TestCompileDisconnectedProblem: problems with isolated components and
+// isolated vertices compile fine (isolated vertices never need gates).
+func TestCompileDisconnectedProblem(t *testing.T) {
+	a := arch.Grid(4, 4)
+	p := graph.New(10)
+	p.AddEdge(0, 1)
+	p.AddEdge(2, 3)
+	p.AddEdge(7, 8) // vertex 9 and others isolated
+	for _, mode := range []Mode{ModeGreedy, ModeATA, ModeHybrid} {
+		res, err := Compile(a, p, Options{Mode: mode})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.Metrics.ProgramGates != 3 {
+			t.Fatalf("%v: %d gates", mode, res.Metrics.ProgramGates)
+		}
+	}
+}
+
+// TestCompileEmptyProblem: zero interactions yield an empty circuit.
+func TestCompileEmptyProblem(t *testing.T) {
+	a := arch.Grid(3, 3)
+	p := graph.New(5)
+	res, err := Compile(a, p, Options{Mode: ModeHybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.CXCount != 0 || res.Metrics.Depth != 0 {
+		t.Fatalf("empty problem produced %+v", res.Metrics)
+	}
+}
+
+// TestCompileSingleEdge compiles the minimal problem on every family.
+func TestCompileSingleEdge(t *testing.T) {
+	p := graph.New(2)
+	p.AddEdge(0, 1)
+	for _, a := range testArchs() {
+		res, err := Compile(a, p, Options{Mode: ModeHybrid})
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if res.Metrics.CXCount < 2 {
+			t.Fatalf("%s: cx %d", a.Name, res.Metrics.CXCount)
+		}
+	}
+}
+
+// TestMeasureConsistency: Measure agrees with direct circuit queries.
+func TestMeasureConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := arch.Grid(4, 4)
+	p := graph.GnpConnected(16, 0.4, rng)
+	nm := noise.Synthetic(a, 1)
+	res, err := Compile(a, p, Options{Mode: ModeHybrid, Noise: nm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Circuit
+	if res.Metrics.CXCount != c.CXCount() {
+		t.Fatal("CX mismatch")
+	}
+	if res.Metrics.Depth != c.DecomposedDepth() {
+		t.Fatal("depth mismatch")
+	}
+	counts := c.GateCount()
+	if res.Metrics.Swaps != counts[circuit.GateSwap]+counts[circuit.GateZZSwap] {
+		t.Fatal("swap mismatch")
+	}
+}
+
+// TestSelectorCostProperties: pure greedy scores exactly 1 and improving
+// either axis lowers F.
+func TestSelectorCostProperties(t *testing.T) {
+	opts := Options{Alpha: 0.5}
+	base := selectorCost(opts, 100, 100, 1000, 1000, 0, 0)
+	if base != 1 {
+		t.Fatalf("baseline F = %v", base)
+	}
+	if f := selectorCost(opts, 50, 100, 1000, 1000, 0, 0); f >= base {
+		t.Fatalf("halving depth did not lower F: %v", f)
+	}
+	if f := selectorCost(opts, 100, 100, 500, 1000, 0, 0); f >= base {
+		t.Fatalf("halving CX did not lower F: %v", f)
+	}
+	// With a noise model, the log-fidelity ratio replaces the CX ratio.
+	optsN := Options{Alpha: 0.5, Noise: &noise.Model{}}
+	if f := selectorCost(optsN, 100, 100, 2000, 1000, -10, -20); f >= base {
+		t.Fatalf("better fidelity did not lower F: %v", f)
+	}
+}

@@ -1,0 +1,74 @@
+package graph
+
+import "sort"
+
+// GreedyColoring colours the graph with the largest-degree-first greedy
+// heuristic and returns one colour per vertex (colours are 0-based, dense).
+// The compiler's gate-scheduling module (paper §6.2) colours a conflict
+// graph whose nodes are hardware-compliant gates and picks the largest
+// colour class to schedule in the next cycle.
+func GreedyColoring(g *Graph) []int {
+	order := make([]int, g.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return g.Degree(order[i]) > g.Degree(order[j])
+	})
+	colors := make([]int, g.N())
+	for i := range colors {
+		colors[i] = -1
+	}
+	var used []bool
+	for _, v := range order {
+		used = used[:0]
+		for range g.Neighbors(v) {
+			used = append(used, false)
+		}
+		used = append(used, false) // colour Degree(v) always available
+		for _, w := range g.Neighbors(v) {
+			if c := colors[w]; c >= 0 && c < len(used) {
+				used[c] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		colors[v] = c
+	}
+	return colors
+}
+
+// ColorClasses groups vertices by colour; classes[c] lists the vertices of
+// colour c, ascending.
+func ColorClasses(colors []int) [][]int {
+	max := -1
+	for _, c := range colors {
+		if c > max {
+			max = c
+		}
+	}
+	classes := make([][]int, max+1)
+	for v, c := range colors {
+		if c >= 0 {
+			classes[c] = append(classes[c], v)
+		}
+	}
+	return classes
+}
+
+// LargestColorClass returns the vertices of the most populous colour class.
+func LargestColorClass(colors []int) []int {
+	classes := ColorClasses(colors)
+	best := 0
+	for i, cl := range classes {
+		if len(cl) > len(classes[best]) {
+			best = i
+		}
+	}
+	if len(classes) == 0 {
+		return nil
+	}
+	return classes[best]
+}

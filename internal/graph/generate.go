@@ -1,0 +1,172 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Gnp returns an Erdős–Rényi random graph G(n, p): every clique edge is
+// present independently with probability p. The benchmark suites follow the
+// paper and call p the "density".
+func Gnp(n int, p float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// GnpConnected returns a connected G(n,p) sample: it draws G(n,p) and then
+// links each extra connected component to the first with one random edge.
+// The paper's benchmarks assume a single interacting region per graph size.
+func GnpConnected(n int, p float64, rng *rand.Rand) *Graph {
+	g := Gnp(n, p, rng)
+	comps := g.ConnectedComponents()
+	for i := 1; i < len(comps); i++ {
+		u := comps[0][rng.Intn(len(comps[0]))]
+		v := comps[i][rng.Intn(len(comps[i]))]
+		g.AddEdge(u, v)
+	}
+	return g
+}
+
+// RandomRegular returns a random d-regular graph on n vertices. For sparse
+// degrees it uses the pairing (configuration) model with restarts; for dense
+// degrees — where the pairing model almost never avoids collisions — it
+// starts from a circulant d-regular graph and randomises it with double-edge
+// swaps (a uniform-ish Markov chain that exactly preserves degrees).
+// n*d must be even and d < n.
+func RandomRegular(n, d int, rng *rand.Rand) (*Graph, error) {
+	if d < 0 || d >= n {
+		return nil, fmt.Errorf("graph: invalid degree %d for %d vertices", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: n*d = %d*%d is odd", n, d)
+	}
+	if d == 0 {
+		return New(n), nil
+	}
+	if d <= 4 {
+		const maxAttempts = 2000
+		for attempt := 0; attempt < maxAttempts; attempt++ {
+			if g, ok := tryPairing(n, d, rng); ok {
+				return g, nil
+			}
+		}
+		// Fall through to the swap-based construction.
+	}
+	return circulantShuffled(n, d, rng), nil
+}
+
+// circulantShuffled builds the circulant d-regular graph (offsets 1..d/2,
+// plus the antipodal offset n/2 when d is odd) and applies ~20·m random
+// double-edge swaps.
+func circulantShuffled(n, d int, rng *rand.Rand) *Graph {
+	type edge = Edge
+	set := make(map[edge]struct{})
+	var edges []edge
+	add := func(u, v int) {
+		e := NewEdge(u, v)
+		if _, ok := set[e]; ok || u == v {
+			return
+		}
+		set[e] = struct{}{}
+		edges = append(edges, e)
+	}
+	for off := 1; off <= d/2; off++ {
+		for v := 0; v < n; v++ {
+			add(v, (v+off)%n)
+		}
+	}
+	if d%2 == 1 { // n must be even here (n*d even)
+		for v := 0; v < n/2; v++ {
+			add(v, v+n/2)
+		}
+	}
+	// Double-edge swaps: (a,b),(c,e) -> (a,c),(b,e) when valid.
+	for t := 0; t < 20*len(edges); t++ {
+		i, j := rng.Intn(len(edges)), rng.Intn(len(edges))
+		if i == j {
+			continue
+		}
+		e1, e2 := edges[i], edges[j]
+		a, b, c, e := e1.U, e1.V, e2.U, e2.V
+		if rng.Intn(2) == 0 {
+			c, e = e, c
+		}
+		if a == c || b == e {
+			continue
+		}
+		n1, n2 := NewEdge(a, c), NewEdge(b, e)
+		if _, ok := set[n1]; ok {
+			continue
+		}
+		if _, ok := set[n2]; ok {
+			continue
+		}
+		delete(set, e1)
+		delete(set, e2)
+		set[n1] = struct{}{}
+		set[n2] = struct{}{}
+		edges[i], edges[j] = n1, n2
+	}
+	g := New(n)
+	for e := range set {
+		g.AddEdge(e.U, e.V)
+	}
+	return g
+}
+
+// MustRandomRegular is RandomRegular but panics on error; intended for
+// benchmark setup with known-feasible parameters.
+func MustRandomRegular(n, d int, rng *rand.Rand) *Graph {
+	g, err := RandomRegular(n, d, rng)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func tryPairing(n, d int, rng *rand.Rand) (*Graph, bool) {
+	// Stubs: vertex v owns stubs v*d .. v*d+d-1.
+	stubs := make([]int, n*d)
+	for i := range stubs {
+		stubs[i] = i / d
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	g := New(n)
+	for i := 0; i < len(stubs); i += 2 {
+		u, v := stubs[i], stubs[i+1]
+		if u == v || g.HasEdge(u, v) {
+			return nil, false // collision: restart
+		}
+		g.AddEdge(u, v)
+	}
+	return g, true
+}
+
+// RegularByDensity returns a random regular graph whose density is as close
+// as possible to the requested density (the paper "sets the density of the
+// regular graph close to 0.3 or 0.5 by varying the degree of each vertex").
+func RegularByDensity(n int, density float64, rng *rand.Rand) (*Graph, error) {
+	d := int(density*float64(n-1) + 0.5)
+	if d >= n {
+		d = n - 1
+	}
+	if d < 1 {
+		d = 1
+	}
+	if n*d%2 != 0 {
+		// Prefer the adjacent even-product degree closest in density.
+		if d+1 < n && n*(d+1)%2 == 0 {
+			d++
+		} else if d > 1 {
+			d--
+		}
+	}
+	return RandomRegular(n, d, rng)
+}

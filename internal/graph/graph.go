@@ -1,0 +1,277 @@
+// Package graph provides the undirected-graph substrate used throughout the
+// compiler: problem graphs (QAOA interaction graphs), coupling graphs, and
+// the algorithms the paper's components rely on (BFS distances, connected
+// components, greedy colouring, weighted matching, random generators).
+//
+// Vertices are dense integers 0..N-1. Edges are unordered pairs.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an unordered pair of vertices. The canonical form has U < V.
+type Edge struct {
+	U, V int
+}
+
+// NewEdge returns the canonical (U < V) form of the edge {u, v}.
+func NewEdge(u, v int) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{U: u, V: v}
+}
+
+// Other returns the endpoint of e that is not w. It panics if w is not an
+// endpoint; callers must only pass endpoints.
+func (e Edge) Other(w int) int {
+	switch w {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: %d is not an endpoint of %v", w, e))
+}
+
+func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
+
+// Graph is a simple undirected graph over vertices 0..N-1.
+// The zero value is an empty graph with no vertices; use New.
+type Graph struct {
+	n   int
+	adj [][]int
+	set map[Edge]struct{}
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{
+		n:   n,
+		adj: make([][]int, n),
+		set: make(map[Edge]struct{}),
+	}
+}
+
+// FromEdges builds a graph on n vertices with the given edges.
+func FromEdges(n int, edges []Edge) *Graph {
+	g := New(n)
+	for _, e := range edges {
+		g.AddEdge(e.U, e.V)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.set) }
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops and duplicates are
+// ignored. It panics on out-of-range vertices.
+func (g *Graph) AddEdge(u, v int) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n))
+	}
+	if u == v {
+		return
+	}
+	e := NewEdge(u, v)
+	if _, ok := g.set[e]; ok {
+		return
+	}
+	g.set[e] = struct{}{}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+		return false
+	}
+	_, ok := g.set[NewEdge(u, v)]
+	return ok
+}
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns the adjacency list of v. The returned slice is shared
+// with the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// Edges returns all edges in canonical order, sorted for determinism.
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, len(g.set))
+	for e := range g.set {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+	return es
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for e := range g.set {
+		c.AddEdge(e.U, e.V)
+	}
+	return c
+}
+
+// Density returns 2M / (N(N-1)), the fraction of clique edges present.
+func (g *Graph) Density() float64 {
+	if g.n < 2 {
+		return 0
+	}
+	return float64(2*g.M()) / float64(g.n*(g.n-1))
+}
+
+// MaxDegree returns the maximum vertex degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.n; v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// BFSFrom returns the unweighted shortest-path distance from src to every
+// vertex. Unreachable vertices get -1.
+func (g *Graph) BFSFrom(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// AllPairsDistances returns the full unweighted distance matrix via
+// repeated BFS: O(N·(N+M)). Unreachable pairs get -1.
+func (g *Graph) AllPairsDistances() [][]int {
+	d := make([][]int, g.n)
+	for v := 0; v < g.n; v++ {
+		d[v] = g.BFSFrom(v)
+	}
+	return d
+}
+
+// ConnectedComponents returns the vertex sets of the connected components,
+// each sorted ascending, ordered by smallest member.
+func (g *Graph) ConnectedComponents() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		queue := []int{s}
+		seen[s] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			comp = append(comp, v)
+			for _, w := range g.adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsConnected reports whether the graph has at most one connected component
+// among its non-isolated vertices and no unreachable vertex overall.
+func (g *Graph) IsConnected() bool {
+	if g.n == 0 {
+		return true
+	}
+	dist := g.BFSFrom(0)
+	for _, d := range dist {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Complete returns the clique K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Path returns the path graph 0-1-...-(n-1).
+func Path(n int) *Graph {
+	g := New(n)
+	for v := 0; v+1 < n; v++ {
+		g.AddEdge(v, v+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle graph on n vertices (n >= 3).
+func Cycle(n int) *Graph {
+	g := Path(n)
+	if n >= 3 {
+		g.AddEdge(n-1, 0)
+	}
+	return g
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertex set,
+// relabelled to 0..len(vs)-1 in the order given, along with the mapping
+// from new labels back to original vertices.
+func (g *Graph) InducedSubgraph(vs []int) (*Graph, []int) {
+	idx := make(map[int]int, len(vs))
+	for i, v := range vs {
+		idx[v] = i
+	}
+	sub := New(len(vs))
+	for i, v := range vs {
+		for _, w := range g.adj[v] {
+			if j, ok := idx[w]; ok && j > i {
+				sub.AddEdge(i, j)
+			}
+		}
+	}
+	back := make([]int, len(vs))
+	copy(back, vs)
+	return sub, back
+}

@@ -1,0 +1,171 @@
+package graph
+
+import "sort"
+
+// WeightedEdge is an edge with a real weight, used by the SWAP-insertion
+// matching (paper §6.2: candidate SWAPs are matched so that gates land on
+// low-error links; the weights encode error-rate variability).
+type WeightedEdge struct {
+	Edge
+	W float64
+}
+
+// MaxWeightMatching returns a matching (set of vertex-disjoint edges, as
+// indices into cand) that heuristically maximises total weight: greedy by
+// descending weight followed by a single local-improvement sweep that tries
+// replacing one chosen edge with two compatible unchosen ones.
+//
+// Exact maximum-weight matching (blossom) is overkill here: the candidate
+// sets are per-cycle SWAP proposals of size O(frontier), and the paper's
+// compiler only needs a good, fast matching each cycle.
+func MaxWeightMatching(cand []WeightedEdge) []int {
+	order := make([]int, len(cand))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if cand[order[a]].W != cand[order[b]].W {
+			return cand[order[a]].W > cand[order[b]].W
+		}
+		// Deterministic tie-break.
+		ea, eb := cand[order[a]].Edge, cand[order[b]].Edge
+		if ea.U != eb.U {
+			return ea.U < eb.U
+		}
+		return ea.V < eb.V
+	})
+
+	used := make(map[int]int) // vertex -> chosen candidate index
+	chosen := make([]bool, len(cand))
+	for _, i := range order {
+		e := cand[i].Edge
+		if _, ok := used[e.U]; ok {
+			continue
+		}
+		if _, ok := used[e.V]; ok {
+			continue
+		}
+		chosen[i] = true
+		used[e.U] = i
+		used[e.V] = i
+	}
+
+	// One improvement sweep: for each unchosen edge blocked by exactly one
+	// chosen edge, check whether dropping the blocker and adding this edge
+	// plus another now-free edge increases the total weight.
+	improve := func() bool {
+		for i := range cand {
+			if chosen[i] {
+				continue
+			}
+			e := cand[i].Edge
+			bu, okU := used[e.U]
+			bv, okV := used[e.V]
+			var blocker int
+			switch {
+			case okU && okV && bu == bv:
+				blocker = bu
+			case okU && !okV:
+				blocker = bu
+			case okV && !okU:
+				blocker = bv
+			default:
+				continue
+			}
+			// Tentatively remove blocker, add i, then greedily add the best
+			// edge that uses the freed endpoint(s).
+			be := cand[blocker].Edge
+			delete(used, be.U)
+			delete(used, be.V)
+			used[e.U], used[e.V] = i, i
+			gain := cand[i].W - cand[blocker].W
+			extra := -1
+			for j := range cand {
+				if chosen[j] || j == i {
+					continue
+				}
+				f := cand[j].Edge
+				if _, ok := used[f.U]; ok {
+					continue
+				}
+				if _, ok := used[f.V]; ok {
+					continue
+				}
+				if extra < 0 || cand[j].W > cand[extra].W {
+					extra = j
+				}
+			}
+			if extra >= 0 {
+				gain += cand[extra].W
+			}
+			if gain > 1e-12 {
+				chosen[blocker] = false
+				chosen[i] = true
+				if extra >= 0 {
+					chosen[extra] = true
+					f := cand[extra].Edge
+					used[f.U], used[f.V] = extra, extra
+				}
+				return true
+			}
+			// Revert.
+			delete(used, e.U)
+			delete(used, e.V)
+			used[be.U], used[be.V] = blocker, blocker
+		}
+		return false
+	}
+	for sweep := 0; sweep < 4 && improve(); sweep++ {
+	}
+
+	var out []int
+	for i, ok := range chosen {
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// UnionFind is a standard disjoint-set structure with path compression and
+// union by size.
+type UnionFind struct {
+	parent []int
+	size   []int
+}
+
+// NewUnionFind returns a union-find over n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+// Find returns the representative of x's set.
+func (uf *UnionFind) Find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b and reports whether they were distinct.
+func (uf *UnionFind) Union(a, b int) bool {
+	ra, rb := uf.Find(a), uf.Find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+	return true
+}
+
+// SameSet reports whether a and b are in the same set.
+func (uf *UnionFind) SameSet(a, b int) bool { return uf.Find(a) == uf.Find(b) }

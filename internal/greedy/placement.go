@@ -1,0 +1,167 @@
+package greedy
+
+import (
+	"sort"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/graph"
+)
+
+// InitialMapping places the problem's logical qubits compactly on the
+// architecture: logical qubits in BFS order from the highest-degree vertex
+// (densest first) onto physical qubits in BFS order from an architecture
+// centre. Compact placement keeps the detected interaction region small,
+// which tightens the ATA prediction bound (§6.3); for the clique special
+// case all placements are equivalent (§4, Discussion).
+func InitialMapping(a *arch.Arch, problem *graph.Graph) []int {
+	phys := bfsOrder(a.G, archCenter(a))
+	logical := problemOrder(problem)
+	mapping := make([]int, problem.N())
+	for i, l := range logical {
+		mapping[l] = phys[i]
+	}
+	return mapping
+}
+
+// RefinePlacement hill-climbs a placement for a bounded number of passes:
+// it tries exchanging the physical locations of every logical pair and
+// keeps exchanges that reduce the total coupling distance over all problem
+// edges. Structured sparse graphs (chains, lattices) benefit enormously —
+// the BFS seed gets them near the right region and the refinement aligns
+// them with the hardware — while each pass is O(n^2) candidate moves, so
+// callers bound the passes.
+func RefinePlacement(a *arch.Arch, problem *graph.Graph, initial []int, passes int) []int {
+	physOf := append([]int(nil), initial...)
+	dist := a.Distances()
+	adj := make([][]int, problem.N())
+	for _, e := range problem.Edges() {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	costAt := func(u, p int) int {
+		c := 0
+		for _, v := range adj[u] {
+			c += dist[p][physOf[v]]
+		}
+		return c
+	}
+	for pass := 0; pass < passes; pass++ {
+		improved := false
+		for u := 0; u < problem.N(); u++ {
+			for v := u + 1; v < problem.N(); v++ {
+				pu, pv := physOf[u], physOf[v]
+				before := costAt(u, pu) + costAt(v, pv)
+				physOf[u], physOf[v] = pv, pu
+				after := costAt(u, pv) + costAt(v, pu)
+				if after < before {
+					improved = true
+				} else {
+					physOf[u], physOf[v] = pu, pv
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return physOf
+}
+
+// archCenter returns a vertex with minimal eccentricity estimate (two-BFS
+// sweep: the midpoint of a longest shortest path found from an arbitrary
+// start).
+func archCenter(a *arch.Arch) int {
+	far := func(s int) (int, []int) {
+		d := a.G.BFSFrom(s)
+		best, bd := s, 0
+		for v, dv := range d {
+			if dv > bd {
+				best, bd = v, dv
+			}
+		}
+		return best, d
+	}
+	u, _ := far(0)
+	v, du := far(u)
+	dv := a.G.BFSFrom(v)
+	// Centre: vertex minimising max(dist(u,·), dist(v,·)).
+	best, bd := 0, 1<<30
+	for w := 0; w < a.N(); w++ {
+		m := du[w]
+		if dv[w] > m {
+			m = dv[w]
+		}
+		if m < bd {
+			best, bd = w, m
+		}
+	}
+	return best
+}
+
+// bfsOrder returns all vertices in BFS order from start, visiting neighbours
+// in ascending index for determinism; unreached vertices are appended.
+func bfsOrder(g *graph.Graph, start int) []int {
+	order := make([]int, 0, g.N())
+	seen := make([]bool, g.N())
+	queue := []int{start}
+	seen[start] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		nb := append([]int(nil), g.Neighbors(v)...)
+		sort.Ints(nb)
+		for _, w := range nb {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if !seen[v] {
+			order = append(order, v)
+		}
+	}
+	return order
+}
+
+// problemOrder returns the logical qubits in BFS order from the
+// highest-degree vertex, breaking ties toward higher degree so dense cores
+// land near the architecture centre.
+func problemOrder(p *graph.Graph) []int {
+	start := 0
+	for v := 1; v < p.N(); v++ {
+		if p.Degree(v) > p.Degree(start) {
+			start = v
+		}
+	}
+	order := make([]int, 0, p.N())
+	seen := make([]bool, p.N())
+	queue := []int{start}
+	seen[start] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		nb := append([]int(nil), p.Neighbors(v)...)
+		sort.Slice(nb, func(i, j int) bool {
+			if p.Degree(nb[i]) != p.Degree(nb[j]) {
+				return p.Degree(nb[i]) > p.Degree(nb[j])
+			}
+			return nb[i] < nb[j]
+		})
+		for _, w := range nb {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	for v := 0; v < p.N(); v++ {
+		if !seen[v] {
+			order = append(order, v)
+		}
+	}
+	return order
+}

@@ -1,0 +1,102 @@
+// Package hamiltonian generates the 2-local Hamiltonian simulation
+// interaction graphs of the paper's Table 3 benchmarks (the same families
+// as 2QAN): next-nearest-neighbour (NNN) 1D Ising chains, NNN 2D XY
+// lattices, and NNN 3D Heisenberg lattices. Each model is, for compilation
+// purposes, a graph of permutable two-qubit interactions (§2.1).
+package hamiltonian
+
+import (
+	"fmt"
+
+	"github.com/ata-pattern/ataqc/internal/graph"
+)
+
+// NNN1DIsing returns the interaction graph of an n-spin Ising chain with
+// nearest and next-nearest couplings: edges (i, i+1) and (i, i+2).
+func NNN1DIsing(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		if i+1 < n {
+			g.AddEdge(i, i+1)
+		}
+		if i+2 < n {
+			g.AddEdge(i, i+2)
+		}
+	}
+	return g
+}
+
+// NNN2DXY returns the interaction graph of a rows x cols XY model with
+// nearest (grid) and next-nearest (diagonal) couplings.
+func NNN2DXY(rows, cols int) *graph.Graph {
+	g := graph.New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c))
+				if c+1 < cols {
+					g.AddEdge(id(r, c), id(r+1, c+1))
+				}
+				if c-1 >= 0 {
+					g.AddEdge(id(r, c), id(r+1, c-1))
+				}
+			}
+		}
+	}
+	return g
+}
+
+// NNN3DHeisenberg returns the interaction graph of an x*y*z Heisenberg
+// lattice with nearest (axis) and next-nearest (face-diagonal) couplings —
+// all vertex pairs at squared Euclidean distance 1 or 2.
+func NNN3DHeisenberg(x, y, z int) *graph.Graph {
+	n := x * y * z
+	g := graph.New(n)
+	id := func(i, j, k int) int { return (k*y+j)*x + i }
+	offsets := [][3]int{}
+	for di := -1; di <= 1; di++ {
+		for dj := -1; dj <= 1; dj++ {
+			for dk := -1; dk <= 1; dk++ {
+				d2 := di*di + dj*dj + dk*dk
+				if d2 == 1 || d2 == 2 {
+					offsets = append(offsets, [3]int{di, dj, dk})
+				}
+			}
+		}
+	}
+	for k := 0; k < z; k++ {
+		for j := 0; j < y; j++ {
+			for i := 0; i < x; i++ {
+				for _, o := range offsets {
+					ii, jj, kk := i+o[0], j+o[1], k+o[2]
+					if ii < 0 || ii >= x || jj < 0 || jj >= y || kk < 0 || kk >= z {
+						continue
+					}
+					g.AddEdge(id(i, j, k), id(ii, jj, kk))
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Benchmark names the three Table 3 instances at their paper sizes
+// (64 vertices each).
+func Benchmark(name string) (*graph.Graph, error) {
+	switch name {
+	case "1D-Ising":
+		return NNN1DIsing(64), nil
+	case "2D-XY":
+		return NNN2DXY(8, 8), nil
+	case "3D-Heisenberg":
+		return NNN3DHeisenberg(4, 4, 4), nil
+	}
+	return nil, fmt.Errorf("hamiltonian: unknown benchmark %q", name)
+}
+
+// Names lists the Table 3 benchmark names in paper order.
+func Names() []string { return []string{"1D-Ising", "2D-XY", "3D-Heisenberg"} }

@@ -1,0 +1,58 @@
+package hamiltonian
+
+import "testing"
+
+func TestNNN1DIsing(t *testing.T) {
+	g := NNN1DIsing(6)
+	// 5 nearest + 4 next-nearest.
+	if g.M() != 9 {
+		t.Fatalf("edges = %d", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(0, 2) || g.HasEdge(0, 3) {
+		t.Fatal("coupling structure wrong")
+	}
+}
+
+func TestNNN2DXY(t *testing.T) {
+	g := NNN2DXY(3, 3)
+	// Nearest: 2*3*2 = 12; diagonals: 2 per interior cell pair = 2*2*2 = 8.
+	if g.M() != 20 {
+		t.Fatalf("edges = %d", g.M())
+	}
+	if !g.HasEdge(0, 4) || !g.HasEdge(1, 3) {
+		t.Fatal("diagonal couplings missing")
+	}
+	if g.HasEdge(0, 8) {
+		t.Fatal("unexpected long-range coupling")
+	}
+}
+
+func TestNNN3DHeisenberg(t *testing.T) {
+	g := NNN3DHeisenberg(2, 2, 2)
+	// 8 vertices; distance^2 in {1,2}: axis edges 12, face diagonals 12.
+	if g.M() != 24 {
+		t.Fatalf("edges = %d", g.M())
+	}
+	// The body diagonal (d^2=3) must be absent: vertices 0=(0,0,0), 7=(1,1,1).
+	if g.HasEdge(0, 7) {
+		t.Fatal("body diagonal present")
+	}
+}
+
+func TestBenchmarkSizes(t *testing.T) {
+	for _, name := range Names() {
+		g, err := Benchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != 64 {
+			t.Fatalf("%s has %d vertices, want 64", name, g.N())
+		}
+		if !g.IsConnected() {
+			t.Fatalf("%s not connected", name)
+		}
+	}
+	if _, err := Benchmark("nope"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package qaoa
+
+import "sort"
+
+// NelderMead minimises f over len(x0) dimensions with the standard simplex
+// method (reflection 1, expansion 2, contraction 0.5, shrink 0.5). It
+// returns the best point found and the best objective value after each
+// function evaluation — the convergence trace of Fig 24/25 (where the
+// x-axis is optimizer rounds).
+func NelderMead(f func([]float64) float64, x0 []float64, maxEvals int) (best []float64, trace []float64) {
+	n := len(x0)
+	type vertex struct {
+		x []float64
+		v float64
+	}
+	evals := 0
+	bestV := 0.0
+	eval := func(x []float64) float64 {
+		v := f(x)
+		evals++
+		if evals == 1 || v < bestV {
+			bestV = v
+			best = append(best[:0], x...)
+		}
+		trace = append(trace, bestV)
+		return v
+	}
+
+	// Initial simplex: x0 plus one step per axis.
+	simplex := make([]vertex, n+1)
+	simplex[0] = vertex{x: append([]float64(nil), x0...)}
+	simplex[0].v = eval(simplex[0].x)
+	for i := 0; i < n; i++ {
+		x := append([]float64(nil), x0...)
+		step := 0.4
+		if x[i] != 0 {
+			step = 0.25 * x[i]
+			if step < 0 {
+				step = -step
+			}
+			if step < 0.1 {
+				step = 0.1
+			}
+		}
+		x[i] += step
+		simplex[i+1] = vertex{x: x, v: eval(x)}
+	}
+
+	for evals < maxEvals {
+		sort.Slice(simplex, func(i, j int) bool { return simplex[i].v < simplex[j].v })
+		// Centroid of all but worst.
+		cen := make([]float64, n)
+		for _, vx := range simplex[:n] {
+			for i := range cen {
+				cen[i] += vx.x[i] / float64(n)
+			}
+		}
+		worst := simplex[n]
+		refl := make([]float64, n)
+		for i := range refl {
+			refl[i] = cen[i] + (cen[i] - worst.x[i])
+		}
+		rv := eval(refl)
+		switch {
+		case rv < simplex[0].v:
+			// Try expansion.
+			exp := make([]float64, n)
+			for i := range exp {
+				exp[i] = cen[i] + 2*(cen[i]-worst.x[i])
+			}
+			if evals < maxEvals {
+				ev := eval(exp)
+				if ev < rv {
+					simplex[n] = vertex{x: exp, v: ev}
+					continue
+				}
+			}
+			simplex[n] = vertex{x: refl, v: rv}
+		case rv < simplex[n-1].v:
+			simplex[n] = vertex{x: refl, v: rv}
+		default:
+			// Contraction.
+			con := make([]float64, n)
+			for i := range con {
+				con[i] = cen[i] + 0.5*(worst.x[i]-cen[i])
+			}
+			if evals >= maxEvals {
+				break
+			}
+			cv := eval(con)
+			if cv < worst.v {
+				simplex[n] = vertex{x: con, v: cv}
+				continue
+			}
+			// Shrink toward best.
+			for j := 1; j <= n && evals < maxEvals; j++ {
+				for i := range simplex[j].x {
+					simplex[j].x[i] = simplex[0].x[i] + 0.5*(simplex[j].x[i]-simplex[0].x[i])
+				}
+				simplex[j].v = eval(simplex[j].x)
+			}
+		}
+	}
+	return best, trace
+}

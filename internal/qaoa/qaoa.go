@@ -1,0 +1,166 @@
+// Package qaoa builds and evaluates QAOA-MaxCut circuits over compiled
+// schedules: the phase separator is the compiled permutable-gate schedule
+// with rebound angles, the mixer is a transversal RX layer, and expectation
+// values are computed exactly or under a noise model via trajectory
+// simulation. A Nelder–Mead optimizer stands in for Qiskit's COBYLA
+// (substitution: both are derivative-free local optimizers over (γ, β);
+// see DESIGN.md).
+package qaoa
+
+import (
+	"math/rand"
+
+	"github.com/ata-pattern/ataqc/internal/circuit"
+	"github.com/ata-pattern/ataqc/internal/graph"
+	"github.com/ata-pattern/ataqc/internal/noise"
+	"github.com/ata-pattern/ataqc/internal/sim"
+)
+
+// CutValue returns the MaxCut value of the assignment encoded in the low
+// n bits of basis (bit i = side of vertex i).
+func CutValue(problem *graph.Graph, basis int) int {
+	cut := 0
+	for _, e := range problem.Edges() {
+		if (basis>>uint(e.U))&1 != (basis>>uint(e.V))&1 {
+			cut++
+		}
+	}
+	return cut
+}
+
+// Instance ties a problem graph to its compiled schedule.
+type Instance struct {
+	Problem  *graph.Graph
+	Compiled *circuit.Circuit // program gates carry Angle=1 (scaled by γ)
+	Initial  []int            // initial logical-to-physical mapping
+	NPhys    int
+}
+
+// BuildPhysical instantiates the physical QAOA(p=1) circuit for parameters
+// (gamma, beta): Hadamards on the initial logical positions, the compiled
+// phase-separator schedule with all program-gate angles scaled by gamma,
+// and the RX(2*beta) mixer on the final logical positions.
+func (in *Instance) BuildPhysical(gamma, beta float64) *circuit.Circuit {
+	c := circuit.New(in.NPhys)
+	for _, p := range in.Initial {
+		c.Append(circuit.Gate{Kind: circuit.GateH, Q0: p, Q1: -1})
+	}
+	for _, g := range in.Compiled.Gates {
+		switch g.Kind {
+		case circuit.GateZZ, circuit.GateZZSwap:
+			g.Angle *= gamma
+		}
+		c.Append(g)
+	}
+	final := circuit.FinalMapping(in.Compiled, in.Initial)
+	for _, p := range final {
+		c.Append(circuit.Gate{Kind: circuit.GateRX, Q0: p, Q1: -1, Angle: 2 * beta})
+	}
+	return c
+}
+
+// prepared builds the physical circuit for (gamma, beta), compacts it onto
+// the qubits it actually touches (so a sparse layout on a large device
+// still fits the statevector), and returns the compact circuit plus the
+// final logical positions in compact indices. The noise model, when
+// needed, is remapped alongside.
+func (in *Instance) prepared(gamma, beta float64, nm *noise.Model) (*circuit.Circuit, []int, *noise.Model) {
+	full := in.BuildPhysical(gamma, beta)
+	comp, remap := full.Compact()
+	fullFinal := circuit.FinalMapping(in.Compiled, in.Initial)
+	final := make([]int, len(fullFinal))
+	for l, p := range fullFinal {
+		// Every final position was touched (the mixer RX runs there).
+		final[l] = remap[p]
+	}
+	var cnm *noise.Model
+	if nm != nil {
+		cnm = &noise.Model{
+			TwoQubit:        make(map[graph.Edge]float64),
+			SingleQubit:     make([]float64, comp.NQubits),
+			Readout:         make([]float64, comp.NQubits),
+			IdlePerCycle:    nm.IdlePerCycle,
+			CrosstalkFactor: nm.CrosstalkFactor,
+		}
+		for old, nw := range remap {
+			cnm.SingleQubit[nw] = nm.SingleQubit[old]
+			cnm.Readout[nw] = nm.Readout[old]
+		}
+		for e, v := range nm.TwoQubit {
+			nu, okU := remap[e.U]
+			nv, okV := remap[e.V]
+			if okU && okV {
+				cnm.TwoQubit[graph.NewEdge(nu, nv)] = v
+			}
+		}
+	}
+	return comp, final, cnm
+}
+
+// cutOfBasis returns the cut value of a basis state read through the final
+// mapping (in compact indices).
+func (in *Instance) cutOfBasis(final []int) func(int) float64 {
+	edges := in.Problem.Edges()
+	return func(basis int) float64 {
+		cut := 0
+		for _, e := range edges {
+			bu := (basis >> uint(final[e.U])) & 1
+			bv := (basis >> uint(final[e.V])) & 1
+			if bu != bv {
+				cut++
+			}
+		}
+		return float64(cut)
+	}
+}
+
+// Expectation returns the exact expected cut value for (gamma, beta).
+func (in *Instance) Expectation(gamma, beta float64) float64 {
+	c, final, _ := in.prepared(gamma, beta, nil)
+	s := sim.NewZero(c.NQubits)
+	s.Run(c)
+	return sim.DiagonalExpectation(s.Probabilities(), in.cutOfBasis(final))
+}
+
+// NoisyExpectation returns the trajectory-averaged expected cut under the
+// noise model.
+func (in *Instance) NoisyExpectation(gamma, beta float64, nm *noise.Model, opts sim.NoisyOptions, rng *rand.Rand) float64 {
+	c, final, cnm := in.prepared(gamma, beta, nm)
+	probs := sim.NoisyProbabilities(c, cnm, opts, rng)
+	return sim.DiagonalExpectation(probs, in.cutOfBasis(final))
+}
+
+// LogicalDistribution returns the exact logical-basis output distribution
+// for (gamma, beta) — the ground truth for TVD experiments.
+func (in *Instance) LogicalDistribution(gamma, beta float64) []float64 {
+	c, final, _ := in.prepared(gamma, beta, nil)
+	s := sim.NewZero(c.NQubits)
+	s.Run(c)
+	return marginal(s.Probabilities(), final, in.Problem.N())
+}
+
+// NoisyLogicalDistribution is the trajectory-averaged distribution with
+// readout error applied.
+func (in *Instance) NoisyLogicalDistribution(gamma, beta float64, nm *noise.Model, opts sim.NoisyOptions, rng *rand.Rand) []float64 {
+	c, final, cnm := in.prepared(gamma, beta, nm)
+	opts.Readout = true
+	probs := sim.NoisyProbabilities(c, cnm, opts, rng)
+	return marginal(probs, final, in.Problem.N())
+}
+
+func marginal(probs []float64, final []int, n int) []float64 {
+	out := make([]float64, 1<<uint(n))
+	for basis, p := range probs {
+		if p == 0 {
+			continue
+		}
+		idx := 0
+		for l := 0; l < n; l++ {
+			if basis&(1<<uint(final[l])) != 0 {
+				idx |= 1 << uint(l)
+			}
+		}
+		out[idx] += p
+	}
+	return out
+}

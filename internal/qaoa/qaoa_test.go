@@ -1,0 +1,155 @@
+package qaoa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/core"
+	"github.com/ata-pattern/ataqc/internal/graph"
+	"github.com/ata-pattern/ataqc/internal/noise"
+	"github.com/ata-pattern/ataqc/internal/sim"
+)
+
+func TestCutValue(t *testing.T) {
+	tri := graph.Cycle(3)
+	if CutValue(tri, 0b000) != 0 {
+		t.Fatal("uncut triangle")
+	}
+	if CutValue(tri, 0b001) != 2 {
+		t.Fatalf("cut(001) = %d", CutValue(tri, 0b001))
+	}
+	if CutValue(tri, 0b111) != 0 {
+		t.Fatal("all-ones cut")
+	}
+}
+
+func newInstance(t *testing.T, n int, density float64, seed int64) *Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p := graph.GnpConnected(n, density, rng)
+	a := arch.GridN(n)
+	res, err := core.Compile(a, p, core.Options{Mode: core.ModeHybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Instance{Problem: p, Compiled: res.Circuit, Initial: res.Initial, NPhys: a.N()}
+}
+
+func TestZeroGammaGivesUniformHalfExpectation(t *testing.T) {
+	// gamma=0, beta=0: the state stays |+>^n, every edge is cut with
+	// probability 1/2, so E[cut] = m/2.
+	in := newInstance(t, 8, 0.4, 1)
+	e := in.Expectation(0, 0)
+	want := float64(in.Problem.M()) / 2
+	if math.Abs(e-want) > 1e-7 {
+		t.Fatalf("E[cut] at (0,0) = %v, want %v", e, want)
+	}
+}
+
+func TestQAOAImprovesOverRandom(t *testing.T) {
+	in := newInstance(t, 8, 0.4, 2)
+	base := float64(in.Problem.M()) / 2
+	// A small parameter scan must beat the random-assignment baseline.
+	best := 0.0
+	// E(-gamma, beta) = E(gamma, -beta), so scan both gamma signs.
+	for _, gamma := range []float64{-0.8, -0.6, -0.4, -0.2, 0.2, 0.4, 0.6, 0.8} {
+		for _, beta := range []float64{0.2, 0.4, 0.6} {
+			if e := in.Expectation(gamma, beta); e > best {
+				best = e
+			}
+		}
+	}
+	if best <= base {
+		t.Fatalf("QAOA best %v not above random %v", best, base)
+	}
+}
+
+func TestExpectationMatchesDirectLogicalSimulation(t *testing.T) {
+	// Cross-check the compiled-schedule expectation against a logical-only
+	// simulation of the same QAOA circuit.
+	in := newInstance(t, 7, 0.5, 3)
+	gamma, beta := 0.7, 0.3
+	got := in.Expectation(gamma, beta)
+
+	n := in.Problem.N()
+	s := sim.NewZero(n)
+	for q := 0; q < n; q++ {
+		s.H(q)
+	}
+	for _, e := range in.Problem.Edges() {
+		s.ZZ(e.U, e.V, gamma)
+	}
+	for q := 0; q < n; q++ {
+		s.RX(q, 2*beta)
+	}
+	want := sim.DiagonalExpectation(s.Probabilities(), func(b int) float64 {
+		return float64(CutValue(in.Problem, b))
+	})
+	if math.Abs(got-want) > 1e-7 {
+		t.Fatalf("compiled expectation %v != logical %v", got, want)
+	}
+}
+
+func TestNoisyExpectationBelowExactOptimum(t *testing.T) {
+	in := newInstance(t, 6, 0.5, 4)
+	a := arch.GridN(6)
+	nm := noise.Uniform(a, 0.03, 1e-3, 0.02, 1e-3)
+	rng := rand.New(rand.NewSource(7))
+	gamma, beta := 0.6, 0.35
+	exact := in.Expectation(gamma, beta)
+	noisy := in.NoisyExpectation(gamma, beta, nm, sim.NoisyOptions{Trajectories: 48}, rng)
+	// Noise pushes the distribution toward uniform, dragging the
+	// expectation toward m/2.
+	uniform := float64(in.Problem.M()) / 2
+	if exact <= uniform {
+		t.Skip("chosen angles do not beat uniform; skip degradation check")
+	}
+	if noisy >= exact {
+		t.Fatalf("noisy expectation %v not below exact %v", noisy, exact)
+	}
+}
+
+func TestLogicalDistributionNormalised(t *testing.T) {
+	in := newInstance(t, 6, 0.4, 5)
+	d := in.LogicalDistribution(0.5, 0.3)
+	sum := 0.0
+	for _, p := range d {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("distribution sums to %v", sum)
+	}
+	if len(d) != 1<<6 {
+		t.Fatalf("distribution size %d", len(d))
+	}
+}
+
+func TestNelderMeadOnQuadratic(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-1.5)*(x[0]-1.5) + (x[1]+0.5)*(x[1]+0.5)
+	}
+	best, trace := NelderMead(f, []float64{0, 0}, 120)
+	if len(trace) == 0 || len(trace) > 120 {
+		t.Fatalf("trace length %d", len(trace))
+	}
+	if f(best) > 1e-3 {
+		t.Fatalf("Nelder-Mead converged to %v (f=%v)", best, f(best))
+	}
+	for i := 1; i < len(trace); i++ {
+		if trace[i] > trace[i-1]+1e-12 {
+			t.Fatal("trace not monotone non-increasing")
+		}
+	}
+}
+
+func TestNelderMeadFindsQAOAOptimum(t *testing.T) {
+	in := newInstance(t, 6, 0.5, 6)
+	f := func(x []float64) float64 { return -in.Expectation(x[0], x[1]) }
+	_, trace := NelderMead(f, []float64{0.4, 0.2}, 40)
+	final := -trace[len(trace)-1]
+	if final <= float64(in.Problem.M())/2 {
+		t.Fatalf("optimised expectation %v not above uniform", final)
+	}
+}

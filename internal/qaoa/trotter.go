@@ -1,0 +1,54 @@
+package qaoa
+
+import (
+	"github.com/ata-pattern/ataqc/internal/circuit"
+)
+
+// BuildTrotterized instantiates a first-order Trotterised evolution
+// exp(-i H t) for a 2-local ZZ Hamiltonian over the compiled schedule:
+// `steps` repetitions of the schedule with every program-gate angle set to
+// theta = t/steps.
+//
+// Odd repetitions replay the compiled schedule as-is; even repetitions
+// replay it *reversed*, which (a) is still a valid schedule — reversing a
+// sequence of mapping-tracked operations keeps every gate on coupled
+// qubits with the same logical pairs — and (b) returns every logical qubit
+// to its pre-round position, so the mapping comes home after each
+// odd/even pair and no re-synthesis per step is needed. This is the
+// standard back-and-forth trick for Trotterised swap networks.
+func (in *Instance) BuildTrotterized(steps int, theta float64) *circuit.Circuit {
+	c := circuit.New(in.NPhys)
+	fwd := in.Compiled.Gates
+	for s := 0; s < steps; s++ {
+		if s%2 == 0 {
+			for _, g := range fwd {
+				c.Append(scaleAngle(g, theta))
+			}
+		} else {
+			for i := len(fwd) - 1; i >= 0; i-- {
+				c.Append(scaleAngle(fwd[i], theta))
+			}
+		}
+	}
+	return c
+}
+
+func scaleAngle(g circuit.Gate, theta float64) circuit.Gate {
+	switch g.Kind {
+	case circuit.GateZZ, circuit.GateZZSwap:
+		g.Angle = theta
+	}
+	return g
+}
+
+// TrotterFinalMapping returns the logical-to-physical mapping after the
+// Trotterised circuit: identity relative to Initial when steps is even,
+// the single-pass final mapping when odd.
+func (in *Instance) TrotterFinalMapping(steps int) []int {
+	if steps%2 == 0 {
+		out := make([]int, len(in.Initial))
+		copy(out, in.Initial)
+		return out
+	}
+	return circuit.FinalMapping(in.Compiled, in.Initial)
+}

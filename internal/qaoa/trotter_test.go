@@ -1,0 +1,123 @@
+package qaoa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/circuit"
+	"github.com/ata-pattern/ataqc/internal/core"
+	"github.com/ata-pattern/ataqc/internal/graph"
+	"github.com/ata-pattern/ataqc/internal/hamiltonian"
+	"github.com/ata-pattern/ataqc/internal/sim"
+)
+
+func trotterInstance(t *testing.T, n int, density float64) *Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	p := graph.GnpConnected(n, density, rng)
+	a := arch.GridN(n)
+	res, err := core.Compile(a, p, core.Options{Mode: core.ModeHybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Instance{Problem: p, Compiled: res.Circuit, Initial: res.Initial, NPhys: a.N()}
+}
+
+// TestTrotterEvenStepsRestoreMapping: after an even number of Trotter
+// steps the mapping must equal the initial placement.
+func TestTrotterEvenStepsRestoreMapping(t *testing.T) {
+	in := trotterInstance(t, 8, 0.5)
+	c := in.BuildTrotterized(2, 0.1)
+	final := circuit.FinalMapping(c, in.Initial)
+	for l, p := range in.Initial {
+		if final[l] != p {
+			t.Fatalf("logical %d moved: %d -> %d", l, p, final[l])
+		}
+	}
+	want := in.TrotterFinalMapping(2)
+	for l := range want {
+		if want[l] != in.Initial[l] {
+			t.Fatal("TrotterFinalMapping(even) not identity")
+		}
+	}
+}
+
+// TestTrotterMatchesDirectEvolution: for a ZZ Hamiltonian all terms
+// commute, so the Trotterised circuit is EXACT — steps at theta = t/steps
+// must match a single application of every term at angle t, up to the
+// qubit permutation.
+func TestTrotterMatchesDirectEvolution(t *testing.T) {
+	in := trotterInstance(t, 7, 0.4)
+	tTotal := 0.9
+	steps := 3
+	c := in.BuildTrotterized(steps, tTotal/float64(steps))
+
+	// Reference: each term once at angle tTotal on the logical qubits.
+	n := in.Problem.N()
+	ref := sim.NewZero(n)
+	for q := 0; q < n; q++ {
+		ref.H(q)
+	}
+	for _, e := range in.Problem.Edges() {
+		ref.ZZ(e.U, e.V, tTotal)
+	}
+	refProbs := marginalIdentity(ref.Probabilities(), n)
+
+	phys := sim.NewZero(in.NPhys)
+	for _, p := range in.Initial {
+		phys.H(p)
+	}
+	phys.Run(c)
+	final := circuit.FinalMapping(c, in.Initial)
+	got := marginal(phys.Probabilities(), final, n)
+
+	for i := range refProbs {
+		if math.Abs(refProbs[i]-got[i]) > 1e-7 {
+			t.Fatalf("distribution mismatch at %d: %v vs %v", i, refProbs[i], got[i])
+		}
+	}
+}
+
+// marginalIdentity treats qubit l as living at physical l.
+func marginalIdentity(probs []float64, n int) []float64 {
+	id := make([]int, n)
+	for i := range id {
+		id[i] = i
+	}
+	return marginal(probs, id, n)
+}
+
+// TestTrotterGateCountScalesLinearly: k steps cost exactly k times the
+// single-pass CX count.
+func TestTrotterGateCountScalesLinearly(t *testing.T) {
+	in := trotterInstance(t, 8, 0.4)
+	one := in.BuildTrotterized(1, 0.2).CXCount()
+	four := in.BuildTrotterized(4, 0.05).CXCount()
+	if four != 4*one {
+		t.Fatalf("CX: 1 step %d, 4 steps %d", one, four)
+	}
+}
+
+// TestTrotterOnHamiltonianBenchmarks compiles the Table 3 models and
+// builds multi-step evolutions (structure check only; 64 qubits exceed the
+// simulator).
+func TestTrotterOnHamiltonianBenchmarks(t *testing.T) {
+	a := arch.HeavyHexN(64)
+	for _, name := range hamiltonian.Names() {
+		p, err := hamiltonian.Benchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Compile(a, p, core.Options{Mode: core.ModeHybrid})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		in := &Instance{Problem: p, Compiled: res.Circuit, Initial: res.Initial, NPhys: a.N()}
+		c := in.BuildTrotterized(4, 0.1)
+		if c.CXCount() != 4*res.Circuit.CXCount() {
+			t.Fatalf("%s: trotter CX %d != 4x%d", name, c.CXCount(), res.Circuit.CXCount())
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"math/rand"
+
+	"github.com/ata-pattern/ataqc/internal/circuit"
+	"github.com/ata-pattern/ataqc/internal/noise"
+)
+
+// NoisyOptions configures Monte-Carlo trajectory simulation.
+type NoisyOptions struct {
+	// Trajectories is the number of Pauli-error samples averaged (default 16).
+	Trajectories int
+	// Readout applies per-qubit measurement flip errors to the returned
+	// distribution when true.
+	Readout bool
+}
+
+// NoisyProbabilities estimates the output distribution of c under the
+// noise model by trajectory averaging: each trajectory runs the decomposed
+// circuit and, after every CX, injects a uniformly random two-qubit Pauli
+// with the link's error probability (depolarizing channel); idle
+// decoherence is approximated by per-qubit phase flips with probability
+// IdlePerCycle per circuit cycle.
+func NoisyProbabilities(c *circuit.Circuit, nm *noise.Model, opts NoisyOptions, rng *rand.Rand) []float64 {
+	d := c.Decompose()
+	traj := opts.Trajectories
+	if traj <= 0 {
+		traj = 16
+	}
+	acc := make([]float64, 1<<uint(c.NQubits))
+	depth := d.Depth()
+	for t := 0; t < traj; t++ {
+		s := NewZero(c.NQubits)
+		for _, g := range d.Gates {
+			s.Apply(g)
+			if g.Kind == circuit.GateCNOT {
+				if e := nm.EdgeError(g.Q0, g.Q1); e > 0 && rng.Float64() < e {
+					injectPauli(s, g.Q0, rng)
+					injectPauli(s, g.Q1, rng)
+				}
+			} else if nm.SingleQubit[g.Q0] > 0 && rng.Float64() < nm.SingleQubit[g.Q0] {
+				injectPauli(s, g.Q0, rng)
+			}
+		}
+		// Idle decoherence: dephasing proportional to circuit duration.
+		if nm.IdlePerCycle > 0 {
+			pFlip := 1 - pow1p(-nm.IdlePerCycle, depth)
+			for q := 0; q < c.NQubits; q++ {
+				if rng.Float64() < pFlip {
+					s.Z(q)
+				}
+			}
+		}
+		probs := s.Probabilities()
+		for i, p := range probs {
+			acc[i] += p
+		}
+	}
+	for i := range acc {
+		acc[i] /= float64(traj)
+	}
+	if opts.Readout {
+		acc = applyReadout(acc, nm, c.NQubits)
+	}
+	return acc
+}
+
+// injectPauli applies a uniformly random non-identity-biased Pauli (X, Y,
+// or Z each with probability 1/4, identity otherwise) to qubit q.
+func injectPauli(s *Statevector, q int, rng *rand.Rand) {
+	switch rng.Intn(4) {
+	case 0:
+		// identity
+	case 1:
+		s.X(q)
+	case 2:
+		s.Y(q)
+	case 3:
+		s.Z(q)
+	}
+}
+
+// pow1p returns (1+x)^n for small x without drift.
+func pow1p(x float64, n int) float64 {
+	r := 1.0
+	for i := 0; i < n; i++ {
+		r *= 1 + x
+	}
+	return r
+}
+
+// applyReadout convolves the distribution with independent per-qubit bit
+// flips of probability Readout[q].
+func applyReadout(p []float64, nm *noise.Model, n int) []float64 {
+	cur := p
+	for q := 0; q < n; q++ {
+		e := nm.Readout[q]
+		if e <= 0 {
+			continue
+		}
+		next := make([]float64, len(cur))
+		bit := 1 << uint(q)
+		for i, v := range cur {
+			next[i] += v * (1 - e)
+			next[i^bit] += v * e
+		}
+		cur = next
+	}
+	return cur
+}
+
+// SampleCounts draws shots from a distribution.
+func SampleCounts(probs []float64, shots int, rng *rand.Rand) map[int]int {
+	// Cumulative distribution for binary search.
+	cum := make([]float64, len(probs))
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		cum[i] = acc
+	}
+	counts := make(map[int]int)
+	for s := 0; s < shots; s++ {
+		r := rng.Float64() * acc
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		counts[lo]++
+	}
+	return counts
+}
+
+// CountsToDistribution normalises sampled counts back to a distribution
+// over the same basis size.
+func CountsToDistribution(counts map[int]int, size, shots int) []float64 {
+	p := make([]float64, size)
+	for b, c := range counts {
+		p[b] = float64(c) / float64(shots)
+	}
+	return p
+}

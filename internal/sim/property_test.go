@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/circuit"
+	"github.com/ata-pattern/ataqc/internal/graph"
+	"github.com/ata-pattern/ataqc/internal/noise"
+)
+
+// norm returns the state's squared norm.
+func norm(s *Statevector) float64 {
+	t := 0.0
+	for _, a := range s.Amp {
+		t += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return t
+}
+
+// TestUnitarityProperty: random gate sequences preserve the norm.
+func TestUnitarityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		s := NewZero(n)
+		for i := 0; i < 40; i++ {
+			q := rng.Intn(n)
+			p := rng.Intn(n)
+			for p == q {
+				p = rng.Intn(n)
+			}
+			switch rng.Intn(7) {
+			case 0:
+				s.H(q)
+			case 1:
+				s.RX(q, rng.Float64()*6)
+			case 2:
+				s.RZ(q, rng.Float64()*6)
+			case 3:
+				s.CX(p, q)
+			case 4:
+				s.Swap(p, q)
+			case 5:
+				s.ZZ(p, q, rng.Float64()*6)
+			case 6:
+				s.X(q)
+			}
+		}
+		return math.Abs(norm(s)-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGateAlgebraIdentities checks textbook identities numerically.
+func TestGateAlgebraIdentities(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// SWAP = CX(a,b) CX(b,a) CX(a,b).
+	a := randomState(rng, 2)
+	b := a.Clone()
+	a.Swap(0, 1)
+	b.CX(0, 1)
+	b.CX(1, 0)
+	b.CX(0, 1)
+	stateEquivalent(t, a, b, "swap = 3 cx")
+
+	// H X H = Z.
+	a = randomState(rng, 1)
+	b = a.Clone()
+	a.H(0)
+	a.X(0)
+	a.H(0)
+	b.Z(0)
+	stateEquivalent(t, a, b, "HXH = Z")
+
+	// RZ(theta1) RZ(theta2) = RZ(theta1+theta2).
+	a = randomState(rng, 1)
+	b = a.Clone()
+	a.RZ(0, 0.4)
+	a.RZ(0, 0.9)
+	b.RZ(0, 1.3)
+	stateEquivalent(t, a, b, "RZ additivity")
+
+	// ZZ is symmetric in its qubits.
+	a = randomState(rng, 2)
+	b = a.Clone()
+	a.ZZ(0, 1, 0.7)
+	b.ZZ(1, 0, 0.7)
+	stateEquivalent(t, a, b, "ZZ symmetry")
+
+	// ZZ commutes with SWAP on the same pair.
+	a = randomState(rng, 2)
+	b = a.Clone()
+	a.ZZ(0, 1, 0.7)
+	a.Swap(0, 1)
+	b.Swap(0, 1)
+	b.ZZ(0, 1, 0.7)
+	stateEquivalent(t, a, b, "ZZ/SWAP commute")
+}
+
+// TestZZGatesCommuteProperty: any permutation of a set of ZZ gates yields
+// the same state — the property the whole compiler rests on (§2.1).
+func TestZZGatesCommuteProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4)
+		var gates []circuit.Gate
+		for i := 0; i < 8; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			gates = append(gates, circuit.NewZZ(u, v, rng.Float64()*3, graph.NewEdge(u, v)))
+		}
+		if len(gates) < 2 {
+			return true
+		}
+		s1 := randomState(rng, n)
+		s2 := s1.Clone()
+		for _, g := range gates {
+			s1.Apply(g)
+		}
+		perm := rng.Perm(len(gates))
+		for _, i := range perm {
+			s2.Apply(gates[i])
+		}
+		return math.Abs(s1.InnerAbs2(s2)-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadoutPreservesNormalisation: the readout convolution keeps the
+// distribution normalised for random error rates.
+func TestReadoutPreservesNormalisation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		s := randomState(rng, n)
+		probs := s.Probabilities()
+		nm := noiseWithReadout(n, rng)
+		out := applyReadout(probs, nm, n)
+		sum := 0.0
+		for _, p := range out {
+			if p < -1e-12 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTVDMetricProperties: TVD is a metric on distributions (symmetry,
+// identity, triangle inequality) for random distributions.
+func TestTVDMetricProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 4 + rng.Intn(12)
+		p := randomDist(rng, k)
+		q := randomDist(rng, k)
+		r := randomDist(rng, k)
+		dpq, dqp := TVD(p, q), TVD(q, p)
+		if math.Abs(dpq-dqp) > 1e-12 {
+			return false
+		}
+		if TVD(p, p) != 0 {
+			return false
+		}
+		if dpq < 0 || dpq > 1+1e-12 {
+			return false
+		}
+		return TVD(p, r) <= dpq+TVD(q, r)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomDist(rng *rand.Rand, k int) []float64 {
+	d := make([]float64, k)
+	sum := 0.0
+	for i := range d {
+		d[i] = rng.Float64()
+		sum += d[i]
+	}
+	for i := range d {
+		d[i] /= sum
+	}
+	return d
+}
+
+// noiseWithReadout builds a model with only readout errors.
+func noiseWithReadout(n int, rng *rand.Rand) *noise.Model {
+	m := noise.Ideal(arch.Line(n))
+	for q := range m.Readout {
+		m.Readout[q] = rng.Float64() * 0.2
+	}
+	return m
+}

@@ -1,0 +1,311 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/circuit"
+	"github.com/ata-pattern/ataqc/internal/core"
+	"github.com/ata-pattern/ataqc/internal/graph"
+	"github.com/ata-pattern/ataqc/internal/noise"
+)
+
+const eps = 1e-9
+
+func TestHadamardUniform(t *testing.T) {
+	s := NewZero(1)
+	s.H(0)
+	p := s.Probabilities()
+	if math.Abs(p[0]-0.5) > eps || math.Abs(p[1]-0.5) > eps {
+		t.Fatalf("H|0> probs %v", p)
+	}
+}
+
+func TestBellState(t *testing.T) {
+	s := NewZero(2)
+	s.H(0)
+	s.CX(0, 1)
+	p := s.Probabilities()
+	if math.Abs(p[0]-0.5) > eps || math.Abs(p[3]-0.5) > eps || p[1] > eps || p[2] > eps {
+		t.Fatalf("bell probs %v", p)
+	}
+}
+
+func TestXYZBasics(t *testing.T) {
+	s := NewZero(2)
+	s.X(1)
+	if p := s.Probabilities(); math.Abs(p[2]-1) > eps {
+		t.Fatalf("X: %v", p)
+	}
+	s = NewZero(1)
+	s.H(0)
+	s.Z(0)
+	s.H(0)
+	if p := s.Probabilities(); math.Abs(p[1]-1) > eps {
+		t.Fatalf("HZH != X: %v", p)
+	}
+	s = NewZero(1)
+	s.Y(0)
+	if p := s.Probabilities(); math.Abs(p[1]-1) > eps {
+		t.Fatalf("Y|0>: %v", p)
+	}
+}
+
+func TestSwapMovesAmplitude(t *testing.T) {
+	s := NewZero(3)
+	s.X(0)
+	s.Swap(0, 2)
+	p := s.Probabilities()
+	if math.Abs(p[4]-1) > eps {
+		t.Fatalf("swap probs %v", p)
+	}
+}
+
+func TestRXRotation(t *testing.T) {
+	s := NewZero(1)
+	s.RX(0, math.Pi)
+	p := s.Probabilities()
+	if math.Abs(p[1]-1) > eps {
+		t.Fatalf("RX(pi) = %v", p)
+	}
+}
+
+func TestRZPhaseInvisibleInZBasis(t *testing.T) {
+	s := NewZero(1)
+	s.H(0)
+	s.RZ(0, 0.7)
+	p := s.Probabilities()
+	if math.Abs(p[0]-0.5) > eps {
+		t.Fatalf("RZ changed Z-basis probs: %v", p)
+	}
+}
+
+// stateEquivalent checks |<a|b>|^2 == 1 (equal up to global phase).
+func stateEquivalent(t *testing.T, a, b *Statevector, label string) {
+	t.Helper()
+	if f := a.InnerAbs2(b); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("%s: fidelity %v", label, f)
+	}
+}
+
+func TestZZDecompositionEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		theta := rng.Float64()*4 - 2
+		c := circuit.New(2)
+		c.Append(circuit.NewZZ(0, 1, theta, graph.NewEdge(0, 1)))
+		a := randomState(rng, 2)
+		b := a.Clone()
+		a.Run(c)
+		b.Run(c.Decompose())
+		stateEquivalent(t, a, b, "ZZ vs CX-RZ-CX")
+	}
+}
+
+func TestZZSwapDecompositionEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		theta := rng.Float64()*4 - 2
+		c := circuit.New(2)
+		c.Append(circuit.Gate{Kind: circuit.GateZZSwap, Q0: 0, Q1: 1, Angle: theta})
+		a := randomState(rng, 2)
+		b := a.Clone()
+		a.Run(c)
+		b.Run(c.Decompose())
+		stateEquivalent(t, a, b, "ZZSwap vs 3-CX template")
+	}
+}
+
+func TestSwapDecompositionEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := circuit.New(2)
+	c.Append(circuit.NewSwap(0, 1))
+	a := randomState(rng, 2)
+	b := a.Clone()
+	a.Run(c)
+	b.Run(c.Decompose())
+	stateEquivalent(t, a, b, "SWAP vs 3 CX")
+}
+
+// randomState prepares a pseudo-random product-ish state via rotations.
+func randomState(rng *rand.Rand, n int) *Statevector {
+	s := NewZero(n)
+	for q := 0; q < n; q++ {
+		s.H(q)
+		s.RZ(q, rng.Float64()*6)
+		s.RX(q, rng.Float64()*6)
+	}
+	return s
+}
+
+// logicalMarginal extracts the logical-basis distribution from a physical
+// distribution given the final logical-to-physical mapping.
+func logicalMarginal(probs []float64, l2p []int, nLogical int) []float64 {
+	out := make([]float64, 1<<uint(nLogical))
+	for basis, p := range probs {
+		if p == 0 {
+			continue
+		}
+		idx := 0
+		for l := 0; l < nLogical; l++ {
+			if basis&(1<<uint(l2p[l])) != 0 {
+				idx |= 1 << uint(l)
+			}
+		}
+		out[idx] += p
+	}
+	return out
+}
+
+// TestCompiledCircuitSemantics is the end-to-end oracle for the whole
+// compiler: the compiled physical circuit, started from |+>^N and read out
+// through the final mapping, must induce exactly the same logical
+// distribution as the uncompiled logical circuit.
+func TestCompiledCircuitSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	archs := []*arch.Arch{arch.Line(8), arch.Grid(3, 3), arch.Sycamore(3, 3), arch.Mumbai()}
+	for _, a := range archs {
+		n := 7
+		p := graph.GnpConnected(n, 0.4, rng)
+		for _, mode := range []core.Mode{core.ModeGreedy, core.ModeATA, core.ModeHybrid} {
+			if mode != core.ModeGreedy && a.N() > 12 {
+				// Mumbai's 27 physical qubits exceed the statevector cap;
+				// only simulate compact architectures for ATA/hybrid.
+				if a.N() > MaxQubits {
+					continue
+				}
+			}
+			if a.N() > 12 {
+				continue // keep the test fast; Mumbai covered by greedy sizes below
+			}
+			res, err := core.Compile(a, p, core.Options{Mode: mode, Angle: 0.9})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", a.Name, mode, err)
+			}
+			// Logical reference.
+			ref := NewZero(n)
+			for q := 0; q < n; q++ {
+				ref.H(q)
+			}
+			for _, e := range p.Edges() {
+				ref.ZZ(e.U, e.V, 0.9)
+			}
+			refProbs := ref.Probabilities()
+
+			// Physical run.
+			phys := NewZero(a.N())
+			for q := 0; q < a.N(); q++ {
+				phys.H(q)
+			}
+			phys.Run(res.Circuit)
+			final := circuit.FinalMapping(res.Circuit, res.Initial)
+			got := logicalMarginal(phys.Probabilities(), final, n)
+
+			for i := range refProbs {
+				if math.Abs(refProbs[i]-got[i]) > 1e-7 {
+					t.Fatalf("%s/%v: distribution mismatch at basis %d: %v vs %v",
+						a.Name, mode, i, refProbs[i], got[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTVDProperties(t *testing.T) {
+	p := []float64{0.5, 0.5, 0, 0}
+	q := []float64{0, 0, 0.5, 0.5}
+	if d := TVD(p, p); d != 0 {
+		t.Fatalf("TVD(p,p) = %v", d)
+	}
+	if d := TVD(p, q); math.Abs(d-1) > eps {
+		t.Fatalf("disjoint TVD = %v", d)
+	}
+}
+
+func TestNoisyZeroNoiseMatchesExact(t *testing.T) {
+	a := arch.Line(4)
+	nm := noise.Ideal(a)
+	c := circuit.New(4)
+	c.Append(
+		circuit.Gate{Kind: circuit.GateH, Q0: 0, Q1: -1},
+		circuit.Gate{Kind: circuit.GateCNOT, Q0: 0, Q1: 1},
+		circuit.NewZZ(1, 2, 0.5, graph.NewEdge(1, 2)),
+	)
+	rng := rand.New(rand.NewSource(5))
+	noisy := NoisyProbabilities(c, nm, NoisyOptions{Trajectories: 3}, rng)
+	s := NewZero(4)
+	s.Run(c)
+	exact := s.Probabilities()
+	if d := TVD(noisy, exact); d > 1e-9 {
+		t.Fatalf("zero-noise TVD %v", d)
+	}
+}
+
+func TestNoisyDegradesWithNoise(t *testing.T) {
+	a := arch.Line(4)
+	nm := noise.Uniform(a, 0.05, 1e-3, 0.02, 1e-3)
+	c := circuit.New(4)
+	for i := 0; i < 4; i++ {
+		c.Append(circuit.Gate{Kind: circuit.GateH, Q0: i, Q1: -1})
+	}
+	for i := 0; i+1 < 4; i++ {
+		c.Append(circuit.NewZZ(i, i+1, 0.8, graph.NewEdge(i, i+1)))
+	}
+	// Mixer layer: without it the distribution is uniform (phases only)
+	// and depolarizing noise would be invisible in the Z basis.
+	for i := 0; i < 4; i++ {
+		c.Append(circuit.Gate{Kind: circuit.GateRX, Q0: i, Q1: -1, Angle: 1.1})
+	}
+	s := NewZero(4)
+	s.Run(c)
+	exact := s.Probabilities()
+	rng := rand.New(rand.NewSource(9))
+	noisy := NoisyProbabilities(c, nm, NoisyOptions{Trajectories: 64, Readout: true}, rng)
+	d := TVD(noisy, exact)
+	if d <= 0.01 {
+		t.Fatalf("noise produced TVD %v, expected > 0.01", d)
+	}
+	sum := 0.0
+	for _, v := range noisy {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("noisy distribution sums to %v", sum)
+	}
+}
+
+func TestSampleCountsConverges(t *testing.T) {
+	probs := []float64{0.25, 0.75}
+	rng := rand.New(rand.NewSource(13))
+	counts := SampleCounts(probs, 20000, rng)
+	dist := CountsToDistribution(counts, 2, 20000)
+	if math.Abs(dist[1]-0.75) > 0.02 {
+		t.Fatalf("sampled %v", dist)
+	}
+}
+
+func TestDiagonalExpectation(t *testing.T) {
+	probs := []float64{0.5, 0, 0, 0.5}
+	v := DiagonalExpectation(probs, func(b int) float64 {
+		// popcount
+		c := 0
+		for x := b; x != 0; x >>= 1 {
+			c += x & 1
+		}
+		return float64(c)
+	})
+	if math.Abs(v-1) > eps {
+		t.Fatalf("expectation %v", v)
+	}
+}
+
+func TestNewZeroBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized statevector accepted")
+		}
+	}()
+	NewZero(MaxQubits + 1)
+}

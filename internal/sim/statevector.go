@@ -1,0 +1,194 @@
+// Package sim provides a statevector quantum simulator for validating
+// compiled circuits and running the end-to-end experiments (§7.4): exact
+// simulation up to ~22 qubits, Monte-Carlo Pauli-error trajectories under a
+// noise model, measurement sampling with readout error, and total variation
+// distance (TVD).
+//
+// Substitution note (DESIGN.md): this simulator plus the synthetic
+// calibration stands in for the paper's IBM Mumbai runs.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"github.com/ata-pattern/ataqc/internal/circuit"
+)
+
+// MaxQubits bounds statevector size (2^22 amplitudes = 64 MiB).
+const MaxQubits = 22
+
+// Statevector is a pure state over n qubits; basis index bit q is qubit q.
+type Statevector struct {
+	N   int
+	Amp []complex128
+}
+
+// NewZero returns |0...0> on n qubits.
+func NewZero(n int) *Statevector {
+	if n < 1 || n > MaxQubits {
+		panic(fmt.Sprintf("sim: %d qubits out of range [1,%d]", n, MaxQubits))
+	}
+	s := &Statevector{N: n, Amp: make([]complex128, 1<<uint(n))}
+	s.Amp[0] = 1
+	return s
+}
+
+// Clone returns a deep copy.
+func (s *Statevector) Clone() *Statevector {
+	c := &Statevector{N: s.N, Amp: make([]complex128, len(s.Amp))}
+	copy(c.Amp, s.Amp)
+	return c
+}
+
+// apply1Q applies the 2x2 matrix {{a,b},{c,d}} to qubit q.
+func (s *Statevector) apply1Q(q int, a, b, c, d complex128) {
+	bit := 1 << uint(q)
+	for i := 0; i < len(s.Amp); i++ {
+		if i&bit != 0 {
+			continue
+		}
+		j := i | bit
+		x, y := s.Amp[i], s.Amp[j]
+		s.Amp[i] = a*x + b*y
+		s.Amp[j] = c*x + d*y
+	}
+}
+
+// H applies a Hadamard to qubit q.
+func (s *Statevector) H(q int) {
+	r := complex(1/math.Sqrt2, 0)
+	s.apply1Q(q, r, r, r, -r)
+}
+
+// X applies a Pauli-X to qubit q.
+func (s *Statevector) X(q int) { s.apply1Q(q, 0, 1, 1, 0) }
+
+// Y applies a Pauli-Y to qubit q.
+func (s *Statevector) Y(q int) { s.apply1Q(q, 0, complex(0, -1), complex(0, 1), 0) }
+
+// Z applies a Pauli-Z to qubit q.
+func (s *Statevector) Z(q int) { s.apply1Q(q, 1, 0, 0, -1) }
+
+// RX applies exp(-i theta/2 X) to qubit q.
+func (s *Statevector) RX(q int, theta float64) {
+	c := complex(math.Cos(theta/2), 0)
+	is := complex(0, -math.Sin(theta/2))
+	s.apply1Q(q, c, is, is, c)
+}
+
+// RZ applies exp(-i theta/2 Z) to qubit q.
+func (s *Statevector) RZ(q int, theta float64) {
+	e0 := cmplx.Exp(complex(0, -theta/2))
+	e1 := cmplx.Exp(complex(0, theta/2))
+	s.apply1Q(q, e0, 0, 0, e1)
+}
+
+// CX applies a CNOT with control c and target t.
+func (s *Statevector) CX(c, t int) {
+	cb, tb := 1<<uint(c), 1<<uint(t)
+	for i := 0; i < len(s.Amp); i++ {
+		if i&cb != 0 && i&tb == 0 {
+			j := i | tb
+			s.Amp[i], s.Amp[j] = s.Amp[j], s.Amp[i]
+		}
+	}
+}
+
+// Swap exchanges qubits p and q.
+func (s *Statevector) Swap(p, q int) {
+	pb, qb := 1<<uint(p), 1<<uint(q)
+	for i := 0; i < len(s.Amp); i++ {
+		if i&pb != 0 && i&qb == 0 {
+			j := (i &^ pb) | qb
+			s.Amp[i], s.Amp[j] = s.Amp[j], s.Amp[i]
+		}
+	}
+}
+
+// ZZ applies exp(-i theta/2 Z⊗Z) on qubits p, q (the program gate).
+func (s *Statevector) ZZ(p, q int, theta float64) {
+	eSame := cmplx.Exp(complex(0, -theta/2)) // parity 0: |00>, |11>
+	eDiff := cmplx.Exp(complex(0, theta/2))
+	pb, qb := 1<<uint(p), 1<<uint(q)
+	for i := 0; i < len(s.Amp); i++ {
+		if (i&pb != 0) == (i&qb != 0) {
+			s.Amp[i] *= eSame
+		} else {
+			s.Amp[i] *= eDiff
+		}
+	}
+}
+
+// Apply executes one circuit gate.
+func (s *Statevector) Apply(g circuit.Gate) {
+	switch g.Kind {
+	case circuit.GateH:
+		s.H(g.Q0)
+	case circuit.GateRX:
+		s.RX(g.Q0, g.Angle)
+	case circuit.GateRZ:
+		s.RZ(g.Q0, g.Angle)
+	case circuit.GateZZ:
+		s.ZZ(g.Q0, g.Q1, g.Angle)
+	case circuit.GateCNOT:
+		s.CX(g.Q0, g.Q1)
+	case circuit.GateSwap:
+		s.Swap(g.Q0, g.Q1)
+	case circuit.GateZZSwap:
+		s.ZZ(g.Q0, g.Q1, g.Angle)
+		s.Swap(g.Q0, g.Q1)
+	default:
+		panic(fmt.Sprintf("sim: unknown gate kind %v", g.Kind))
+	}
+}
+
+// Run executes the whole circuit.
+func (s *Statevector) Run(c *circuit.Circuit) {
+	for _, g := range c.Gates {
+		s.Apply(g)
+	}
+}
+
+// Probabilities returns |amp|^2 per basis state.
+func (s *Statevector) Probabilities() []float64 {
+	p := make([]float64, len(s.Amp))
+	for i, a := range s.Amp {
+		p[i] = real(a)*real(a) + imag(a)*imag(a)
+	}
+	return p
+}
+
+// InnerAbs2 returns |<s|o>|^2.
+func (s *Statevector) InnerAbs2(o *Statevector) float64 {
+	var acc complex128
+	for i := range s.Amp {
+		acc += cmplx.Conj(s.Amp[i]) * o.Amp[i]
+	}
+	return real(acc)*real(acc) + imag(acc)*imag(acc)
+}
+
+// TVD returns the total variation distance between two distributions.
+func TVD(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("sim: TVD length mismatch")
+	}
+	d := 0.0
+	for i := range p {
+		d += math.Abs(p[i] - q[i])
+	}
+	return d / 2
+}
+
+// DiagonalExpectation returns sum_i p_i * value(i): the expectation of a
+// computational-basis-diagonal observable given basis probabilities.
+func DiagonalExpectation(probs []float64, value func(basis int) float64) float64 {
+	e := 0.0
+	for i, p := range probs {
+		if p > 0 {
+			e += p * value(i)
+		}
+	}
+	return e
+}

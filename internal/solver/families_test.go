@@ -1,0 +1,98 @@
+package solver
+
+import (
+	"testing"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/graph"
+)
+
+// TestSycamoreSmallClique: the solver handles the rotated-lattice family;
+// a 2x2 sycamore is a path of 4 qubits + one diagonal.
+func TestSycamoreSmallClique(t *testing.T) {
+	a := arch.Sycamore(2, 2)
+	p := graph.Complete(4)
+	res, err := Solve(a, p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay(t, a, p, nil, res)
+	t.Logf("K4 on sycamore-2x2: optimal depth %d", res.Depth)
+	if res.Depth > 6 {
+		t.Fatalf("depth %d worse than the line bound", res.Depth)
+	}
+}
+
+// TestSycamoreBipartiteOptimal: the 2xUnit sub-problem the paper solved
+// with this tool (7 qubits in the paper; 2x2 here for test speed).
+func TestSycamoreBipartiteOptimal(t *testing.T) {
+	a := arch.Sycamore(2, 2)
+	p := graph.New(4)
+	// Rows {0,1} and {2,3}: bipartite all-to-all.
+	p.AddEdge(0, 2)
+	p.AddEdge(0, 3)
+	p.AddEdge(1, 2)
+	p.AddEdge(1, 3)
+	res, err := Solve(a, p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay(t, a, p, nil, res)
+	if res.Depth < 2 || res.Depth > 4 {
+		t.Fatalf("bipartite sycamore 2x2: depth %d", res.Depth)
+	}
+}
+
+// TestHexagonUPathInstance: all-to-all over two hexagon columns; the
+// solver's optimum bounds the U-path pattern.
+func TestHexagonUPathInstance(t *testing.T) {
+	a := arch.Hexagon(2, 2)
+	p := graph.Complete(4)
+	res, err := Solve(a, p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay(t, a, p, nil, res)
+	t.Logf("K4 on hexagon-2x2: optimal depth %d", res.Depth)
+}
+
+// TestHeavyHexBridgeInstance: a tiny heavy-hex with one bridge qubit; the
+// solver must route through the bridge.
+func TestHeavyHexBridgeInstance(t *testing.T) {
+	a := arch.HeavyHex(2, 4)
+	n := a.N() // 8 row qubits + 1 bridge
+	if n != 9 {
+		t.Fatalf("unexpected heavy-hex size %d", n)
+	}
+	p := graph.New(n)
+	// One gate between the two rows' far ends: must cross the bridge.
+	p.AddEdge(0, 4)
+	res, err := Solve(a, p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay(t, a, p, nil, res)
+	// Both endpoints walk toward each other: ceil((d-1)/2) swap cycles
+	// plus the gate cycle.
+	d := a.Dist(0, 4)
+	want := (d-1+1)/2 + 1
+	if res.Depth != want {
+		t.Fatalf("depth %d, want %d (both endpoints converge over dist %d)", res.Depth, want, d)
+	}
+}
+
+// TestSolverRespectsMumbaiTopology: one far pair on the real device map.
+func TestSolverRespectsMumbaiTopology(t *testing.T) {
+	a := arch.Mumbai()
+	p := graph.New(3)
+	p.AddEdge(0, 1)
+	p.AddEdge(1, 2)
+	res, err := Solve(a, p, []int{0, 1, 4}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay(t, a, p, []int{0, 1, 4}, res)
+	if res.Depth > 3 {
+		t.Fatalf("depth %d", res.Depth)
+	}
+}

@@ -1,0 +1,328 @@
+// Package solver implements the paper's depth-optimal A* solver (§4): given
+// a logical circuit of permutable two-qubit gates (a problem graph), a
+// coupling architecture, and an initial mapping, it finds a transformed
+// circuit of provably minimal depth, where every cycle schedules a set of
+// qubit-disjoint operations (program gates on coupled wanted pairs, or
+// SWAPs on coupled pairs).
+//
+// The priority function is f(v) = c(v) + h(v) with the admissible h of
+// Definitions 3–4: for every remaining gate (qi, qj) at distance d with
+// remaining problem degrees deg(qi), deg(qj),
+//
+//	cost(qi,qj) = min_{x=0..d-1} max(deg(qi)+x, deg(qj)+d-1-x)
+//	h(v)        = max over remaining gates of cost
+//
+// which lower-bounds the cycles to any terminal (Theorems 1–2), so A*
+// returns a depth-optimal schedule. The solver is intended for the small
+// sub-problem instances of §3 (1xN lines, 2xN ladders, small grids); its
+// search space is exponential in the architecture size.
+package solver
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/graph"
+)
+
+// Op is one operation scheduled in a cycle.
+type Op struct {
+	P, Q int        // physical qubits (coupled)
+	Gate bool       // true: program gate; false: SWAP
+	Tag  graph.Edge // the logical pair, for gates
+}
+
+// Cycle is the set of qubit-disjoint operations of one schedule cycle.
+type Cycle []Op
+
+// Result is a depth-optimal schedule.
+type Result struct {
+	Depth    int
+	Cycles   []Cycle
+	Explored int // nodes expanded, for diagnostics
+}
+
+// Options bounds the search.
+type Options struct {
+	// MaxNodes aborts the search after expanding this many nodes
+	// (0 = 2^22).
+	MaxNodes int
+}
+
+// ErrSearchExhausted is returned when MaxNodes is hit before a terminal.
+var ErrSearchExhausted = errors.New("solver: node budget exhausted")
+
+const maxEdges = 64
+
+// Solve returns a depth-optimal schedule for problem on a from the initial
+// mapping (identity if nil). The problem must have at most 64 edges.
+func Solve(a *arch.Arch, problem *graph.Graph, initial []int, opts Options) (*Result, error) {
+	edges := problem.Edges()
+	if len(edges) == 0 {
+		return &Result{}, nil
+	}
+	if len(edges) > maxEdges {
+		return nil, fmt.Errorf("solver: %d edges exceed the %d-edge limit", len(edges), maxEdges)
+	}
+	if problem.N() > a.N() {
+		return nil, fmt.Errorf("solver: %d logical qubits exceed %d physical", problem.N(), a.N())
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 1 << 22
+	}
+
+	s := &search{
+		a:       a,
+		problem: problem,
+		edges:   edges,
+		edgeIdx: make(map[graph.Edge]int, len(edges)),
+		dist:    a.Distances(),
+	}
+	for i, e := range edges {
+		s.edgeIdx[e] = i
+	}
+
+	start := make([]int8, a.N())
+	for i := range start {
+		start[i] = -1
+	}
+	if initial == nil {
+		for l := 0; l < problem.N(); l++ {
+			start[l] = int8(l)
+		}
+	} else {
+		if len(initial) != problem.N() {
+			return nil, fmt.Errorf("solver: initial mapping length %d != %d", len(initial), problem.N())
+		}
+		for l, p := range initial {
+			if p < 0 || p >= a.N() || start[p] != -1 {
+				return nil, fmt.Errorf("solver: bad initial mapping %d->%d", l, p)
+			}
+			start[p] = int8(l)
+		}
+	}
+
+	fullMask := uint64(0)
+	for i := range edges {
+		fullMask |= 1 << uint(i)
+	}
+
+	root := &node{p2l: start, rem: fullMask, g: 0}
+	root.h = s.heuristic(root)
+	pq := &nodeQueue{root}
+	best := map[string]int{s.key(root): 0}
+
+	explored := 0
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(*node)
+		if cur.rem == 0 {
+			return &Result{Depth: cur.g, Cycles: s.extract(cur), Explored: explored}, nil
+		}
+		if g, ok := best[s.key(cur)]; ok && cur.g > g {
+			continue // stale entry
+		}
+		explored++
+		if explored > maxNodes {
+			return nil, ErrSearchExhausted
+		}
+		s.expand(cur, func(child *node) {
+			k := s.key(child)
+			if g, ok := best[k]; ok && g <= child.g {
+				return
+			}
+			best[k] = child.g
+			child.h = s.heuristic(child)
+			heap.Push(pq, child)
+		})
+	}
+	return nil, errors.New("solver: no terminal reachable (disconnected problem?)")
+}
+
+type node struct {
+	p2l    []int8 // physical -> logical (-1 empty)
+	rem    uint64 // bitmask of unscheduled problem edges
+	g, h   int
+	parent *node
+	via    Cycle // the cycle applied to parent to reach this node
+	idx    int   // heap index
+}
+
+type search struct {
+	a       *arch.Arch
+	problem *graph.Graph
+	edges   []graph.Edge
+	edgeIdx map[graph.Edge]int
+	dist    [][]int
+}
+
+func (s *search) key(n *node) string {
+	buf := make([]byte, len(n.p2l)+8)
+	for i, v := range n.p2l {
+		buf[i] = byte(v + 1)
+	}
+	for i := 0; i < 8; i++ {
+		buf[len(n.p2l)+i] = byte(n.rem >> (8 * uint(i)))
+	}
+	return string(buf)
+}
+
+// remDegree returns the remaining problem degree of logical qubit l.
+func (s *search) remDegree(n *node, l int8) int {
+	d := 0
+	for i, e := range s.edges {
+		if n.rem&(1<<uint(i)) != 0 && (int(l) == e.U || int(l) == e.V) {
+			d++
+		}
+	}
+	return d
+}
+
+// heuristic is h(v) of Definition 4.
+func (s *search) heuristic(n *node) int {
+	l2p := make([]int, s.problem.N())
+	for p, l := range n.p2l {
+		if l >= 0 {
+			l2p[l] = p
+		}
+	}
+	h := 0
+	degCache := make(map[int8]int)
+	deg := func(l int8) int {
+		if d, ok := degCache[l]; ok {
+			return d
+		}
+		d := s.remDegree(n, l)
+		degCache[l] = d
+		return d
+	}
+	for i, e := range s.edges {
+		if n.rem&(1<<uint(i)) == 0 {
+			continue
+		}
+		d := s.dist[l2p[e.U]][l2p[e.V]]
+		du, dv := deg(int8(e.U)), deg(int8(e.V))
+		best := 1 << 30
+		for x := 0; x < d; x++ {
+			c := du + x
+			if o := dv + d - 1 - x; o > c {
+				c = o
+			}
+			if c < best {
+				best = c
+			}
+		}
+		if best > h {
+			h = best
+		}
+	}
+	return h
+}
+
+// expand enumerates all child nodes: every non-empty matching of actions,
+// where each coupling edge may host a SWAP or (if its occupants form a
+// remaining gate) the gate.
+func (s *search) expand(n *node, yield func(*node)) {
+	couplings := s.a.G.Edges()
+	// Candidate actions per coupling edge: 1 = swap, plus gate if available.
+	type action struct {
+		p, q    int
+		gate    bool
+		edgeBit uint64
+		tag     graph.Edge
+	}
+	var acts []action
+	for _, ce := range couplings {
+		lu, lv := n.p2l[ce.U], n.p2l[ce.V]
+		acts = append(acts, action{p: ce.U, q: ce.V})
+		if lu >= 0 && lv >= 0 {
+			t := graph.NewEdge(int(lu), int(lv))
+			if i, ok := s.edgeIdx[t]; ok && n.rem&(1<<uint(i)) != 0 {
+				acts = append(acts, action{p: ce.U, q: ce.V, gate: true, edgeBit: 1 << uint(i), tag: t})
+			}
+		}
+	}
+	// Depth-first enumeration of qubit-disjoint subsets.
+	used := make([]bool, s.a.N())
+	var chosen []action
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(acts) {
+			if len(chosen) == 0 {
+				return
+			}
+			child := &node{
+				p2l:    append([]int8(nil), n.p2l...),
+				rem:    n.rem,
+				g:      n.g + 1,
+				parent: n,
+			}
+			cyc := make(Cycle, 0, len(chosen))
+			for _, a := range chosen {
+				if a.gate {
+					child.rem &^= a.edgeBit
+					cyc = append(cyc, Op{P: a.p, Q: a.q, Gate: true, Tag: a.tag})
+				} else {
+					child.p2l[a.p], child.p2l[a.q] = child.p2l[a.q], child.p2l[a.p]
+					cyc = append(cyc, Op{P: a.p, Q: a.q})
+				}
+			}
+			child.via = cyc
+			yield(child)
+			return
+		}
+		a := acts[i]
+		if !used[a.p] && !used[a.q] {
+			used[a.p], used[a.q] = true, true
+			chosen = append(chosen, a)
+			rec(i + 1)
+			chosen = chosen[:len(chosen)-1]
+			used[a.p], used[a.q] = false, false
+		}
+		rec(i + 1)
+	}
+	rec(0)
+}
+
+func (s *search) extract(n *node) []Cycle {
+	var rev []Cycle
+	for cur := n; cur.parent != nil; cur = cur.parent {
+		rev = append(rev, cur.via)
+	}
+	out := make([]Cycle, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// nodeQueue is a min-heap on f = g + h (ties broken toward larger g, which
+// prefers deeper nodes and speeds up goal discovery).
+type nodeQueue []*node
+
+func (q nodeQueue) Len() int { return len(q) }
+func (q nodeQueue) Less(i, j int) bool {
+	fi, fj := q[i].g+q[i].h, q[j].g+q[j].h
+	if fi != fj {
+		return fi < fj
+	}
+	return q[i].g > q[j].g
+}
+func (q nodeQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx, q[j].idx = i, j
+}
+func (q *nodeQueue) Push(x any) {
+	n := x.(*node)
+	n.idx = len(*q)
+	*q = append(*q, n)
+}
+func (q *nodeQueue) Pop() any {
+	old := *q
+	n := old[len(old)-1]
+	old[len(old)-1] = nil
+	*q = old[:len(old)-1]
+	return n
+}

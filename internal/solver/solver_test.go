@@ -1,0 +1,243 @@
+package solver
+
+import (
+	"testing"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/graph"
+)
+
+// replay validates a schedule: ops within a cycle are qubit-disjoint and on
+// couplings, gates act on wanted occupants, and all edges complete.
+func replay(t *testing.T, a *arch.Arch, problem *graph.Graph, initial []int, res *Result) {
+	t.Helper()
+	p2l := make([]int, a.N())
+	for i := range p2l {
+		p2l[i] = -1
+	}
+	if initial == nil {
+		for l := 0; l < problem.N(); l++ {
+			p2l[l] = l
+		}
+	} else {
+		for l, p := range initial {
+			p2l[p] = l
+		}
+	}
+	remaining := make(map[graph.Edge]bool)
+	for _, e := range problem.Edges() {
+		remaining[e] = true
+	}
+	for ci, cyc := range res.Cycles {
+		used := map[int]bool{}
+		for _, op := range cyc {
+			if !a.G.HasEdge(op.P, op.Q) {
+				t.Fatalf("cycle %d: op on uncoupled (%d,%d)", ci, op.P, op.Q)
+			}
+			if used[op.P] || used[op.Q] {
+				t.Fatalf("cycle %d: qubit reused", ci)
+			}
+			used[op.P], used[op.Q] = true, true
+			if op.Gate {
+				e := graph.NewEdge(p2l[op.P], p2l[op.Q])
+				if e != op.Tag || !remaining[e] {
+					t.Fatalf("cycle %d: bad gate %v (occupants %v)", ci, op.Tag, e)
+				}
+				delete(remaining, e)
+			} else {
+				p2l[op.P], p2l[op.Q] = p2l[op.Q], p2l[op.P]
+			}
+		}
+	}
+	if len(remaining) > 0 {
+		t.Fatalf("%d edges unscheduled", len(remaining))
+	}
+	if len(res.Cycles) != res.Depth {
+		t.Fatalf("depth %d != %d cycles", res.Depth, len(res.Cycles))
+	}
+}
+
+func TestTrivialCases(t *testing.T) {
+	a := arch.Line(2)
+	res, err := Solve(a, graph.Complete(2), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Depth != 1 {
+		t.Fatalf("K2 on line-2: depth %d", res.Depth)
+	}
+	replay(t, a, graph.Complete(2), nil, res)
+
+	// Empty problem: depth 0.
+	res, err = Solve(a, graph.New(2), nil, Options{})
+	if err != nil || res.Depth != 0 {
+		t.Fatalf("empty problem: %v depth %d", err, res.Depth)
+	}
+}
+
+func TestParallelGatesOneCycle(t *testing.T) {
+	a := arch.Line(4)
+	p := graph.New(4)
+	p.AddEdge(0, 1)
+	p.AddEdge(2, 3)
+	res, err := Solve(a, p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Depth != 1 {
+		t.Fatalf("two disjoint adjacent gates: depth %d", res.Depth)
+	}
+	replay(t, a, p, nil, res)
+}
+
+func TestDistantPairNeedsSwaps(t *testing.T) {
+	a := arch.Line(3)
+	p := graph.New(3)
+	p.AddEdge(0, 2)
+	res, err := Solve(a, p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One swap + one gate.
+	if res.Depth != 2 {
+		t.Fatalf("distance-2 gate: depth %d", res.Depth)
+	}
+	replay(t, a, p, nil, res)
+}
+
+func TestCliqueLine3(t *testing.T) {
+	a := arch.Line(3)
+	p := graph.Complete(3)
+	res, err := Solve(a, p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay(t, a, p, nil, res)
+	// Three gates all sharing qubits: >= 3 cycles; one extra for the swap.
+	if res.Depth != 4 {
+		t.Fatalf("K3 on line-3: depth %d, want 4", res.Depth)
+	}
+}
+
+func TestCliqueLine4(t *testing.T) {
+	a := arch.Line(4)
+	p := graph.Complete(4)
+	res, err := Solve(a, p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay(t, a, p, nil, res)
+	t.Logf("K4 on line-4: optimal depth %d (%d nodes)", res.Depth, res.Explored)
+	if res.Depth < 5 || res.Depth > 7 {
+		t.Fatalf("K4 on line-4: depth %d outside sanity window", res.Depth)
+	}
+}
+
+func TestCliqueGrid2x2(t *testing.T) {
+	a := arch.Grid(2, 2)
+	p := graph.Complete(4)
+	res, err := Solve(a, p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay(t, a, p, nil, res)
+	t.Logf("K4 on 2x2: optimal depth %d", res.Depth)
+	// 6 edges, 4 couplings (no diagonals), 2 gates max per cycle:
+	// >= 3 cycles for gates, plus >= 1 swap cycle for the diagonals.
+	if res.Depth < 4 || res.Depth > 6 {
+		t.Fatalf("K4 on 2x2: depth %d", res.Depth)
+	}
+}
+
+func TestBipartite2x3(t *testing.T) {
+	// The 2xUnit sub-problem (Fig 8/9) at size 2x3: bipartite all-to-all
+	// between the two rows.
+	a := arch.Grid(2, 3)
+	p := graph.New(6)
+	for i := 0; i < 3; i++ {
+		for j := 3; j < 6; j++ {
+			p.AddEdge(i, j)
+		}
+	}
+	res, err := Solve(a, p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay(t, a, p, nil, res)
+	t.Logf("bipartite 2x3: optimal depth %d (%d nodes)", res.Depth, res.Explored)
+	// 9 cross gates, <= 3 per cycle -> >= 3 gate cycles, plus swaps.
+	if res.Depth < 4 {
+		t.Fatalf("bipartite 2x3: depth %d impossibly low", res.Depth)
+	}
+}
+
+func TestInitialMappingRespected(t *testing.T) {
+	a := arch.Line(3)
+	p := graph.New(2)
+	p.AddEdge(0, 1)
+	// Map logicals to the two line ends: distance 2 forces depth 2.
+	res, err := Solve(a, p, []int{0, 2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Depth != 2 {
+		t.Fatalf("depth %d, want 2", res.Depth)
+	}
+	replay(t, a, p, []int{0, 2}, res)
+}
+
+func TestNodeBudget(t *testing.T) {
+	a := arch.Line(5)
+	p := graph.Complete(5)
+	_, err := Solve(a, p, nil, Options{MaxNodes: 10})
+	if err != ErrSearchExhausted {
+		t.Fatalf("want ErrSearchExhausted, got %v", err)
+	}
+}
+
+func TestRejectsOversizedProblems(t *testing.T) {
+	a := arch.Grid(3, 5) // 15 qubits
+	if _, err := Solve(a, graph.Complete(12), nil, Options{}); err == nil {
+		t.Fatal("66-edge problem accepted")
+	}
+	if _, err := Solve(arch.Line(2), graph.Complete(3), nil, Options{}); err == nil {
+		t.Fatal("more logical than physical qubits accepted")
+	}
+}
+
+func TestHeuristicAdmissibleSpotCheck(t *testing.T) {
+	// h at the root must never exceed the optimal depth found.
+	for _, tc := range []struct {
+		a *arch.Arch
+		p *graph.Graph
+	}{
+		{arch.Line(3), graph.Complete(3)},
+		{arch.Line(4), graph.Complete(4)},
+		{arch.Grid(2, 2), graph.Complete(4)},
+		{arch.Grid(2, 3), graph.Path(6)},
+	} {
+		res, err := Solve(tc.a, tc.p, nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := &search{
+			a: tc.a, problem: tc.p, edges: tc.p.Edges(),
+			edgeIdx: map[graph.Edge]int{}, dist: tc.a.Distances(),
+		}
+		for i, e := range s.edges {
+			s.edgeIdx[e] = i
+		}
+		start := make([]int8, tc.a.N())
+		for i := range start {
+			start[i] = -1
+		}
+		for l := 0; l < tc.p.N(); l++ {
+			start[l] = int8(l)
+		}
+		full := uint64(1)<<uint(len(s.edges)) - 1
+		h := s.heuristic(&node{p2l: start, rem: full})
+		if h > res.Depth {
+			t.Fatalf("h(root)=%d exceeds optimal %d for %s", h, res.Depth, tc.a.Name)
+		}
+	}
+}

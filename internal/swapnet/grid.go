@@ -1,0 +1,200 @@
+package swapnet
+
+import (
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/graph"
+)
+
+// regionUnits returns the unit segments of a region: for each unit index in
+// [U0,U1], the physical qubits at positions [P0,P1] (clipped to the unit
+// length).
+func regionUnits(a *arch.Arch, r arch.Region) [][]int {
+	var units [][]int
+	for u := r.U0; u <= r.U1 && u < len(a.Units); u++ {
+		unit := a.Units[u]
+		p1 := r.P1
+		if p1 >= len(unit) {
+			p1 = len(unit) - 1
+		}
+		if r.P0 > p1 {
+			continue
+		}
+		units = append(units, unit[r.P0:p1+1])
+	}
+	return units
+}
+
+// gridATA realises all-to-all interaction on a 2D grid region (§3.1 with
+// the Appendix A merging optimisation): the linear pattern is replayed at
+// unit granularity — R rounds of alternating-parity row pairings, where
+// each pairing runs the 2xUnit bipartite pattern (Fig 8/9) and then
+// exchanges the two rows through one vertical SWAP layer (Fig 5b).
+//
+// Intra-unit pairs need no separate phase: the bipartite pattern's
+// counter-rotation performs exactly the 1xUnit odd-even swap dynamics
+// inside every row, so each intra-row SWAP doubles as a unified program
+// gate whenever its occupants are a wanted pair (Appendix A Optimisation
+// II — "the intra-unit SWAP layers in the 2xUnit solution are the same as
+// the 1xUnit solution"). Unit contents are invariant throughout (bipartite
+// swaps stay within rows; exchanges move whole rows), so across the R
+// rounds every group both meets every other group and fully mixes
+// internally. A residual intra pass covers any pairs a short region leaves
+// behind; on cliques it stays empty (tested).
+//
+// Total cycle depth is O(R*C) = O(n), about 25% below the separate-phase
+// variant — the Appendix A depth saving.
+func gridATA(st *State, region arch.Region, emit EmitFunc) {
+	units := regionUnits(st.A, region)
+	if len(units) == 0 {
+		return
+	}
+	if len(units) == 1 {
+		linear(st, units, linearOpts{}, emit)
+		return
+	}
+	var all []int
+	for _, u := range units {
+		all = append(all, u...)
+	}
+	sc := newScope(st, all)
+	R := len(units)
+	for t := 0; t < R; t++ {
+		if sc.done() {
+			return
+		}
+		var pairs [][2]int
+		for u := t % 2; u+1 < R; u += 2 {
+			pairs = append(pairs, [2]int{u, u + 1})
+		}
+		if len(pairs) == 0 {
+			continue
+		}
+		bipartiteGrid(st, units, pairs, sc, emit)
+		if sc.done() || t == R-1 {
+			break
+		}
+		// Unit exchange: one vertical SWAP layer per paired rows.
+		var layer []graph.Edge
+		for _, pr := range pairs {
+			a, b := units[pr[0]], units[pr[1]]
+			for i := 0; i < len(a) && i < len(b); i++ {
+				st.ApplySwap(a[i], b[i])
+				layer = append(layer, graph.NewEdge(a[i], b[i]))
+			}
+		}
+		emit(Step{Swaps: [][]graph.Edge{layer}})
+	}
+	if !sc.done() {
+		// Residual intra-unit pairs (short regions can finish the
+		// unit-level rounds before every row fully mixes).
+		linear(st, regionUnits(st.A, region), linearOpts{sc: sc}, emit)
+	}
+}
+
+// bipartiteGrid runs the 2xUnit bipartite pattern of Fig 8/9 on every row
+// pair in `pairs` simultaneously, for C cycles (C = row length): each cycle
+// computes on all vertical pairs (A_i, B_i), then row A swaps its
+// even-or-odd adjacent positions while row B swaps the opposite parity —
+// the two rows counter-rotate so that after C cycles every (A, B) logical
+// pair has been vertically aligned exactly once.
+//
+// All SWAPs stay within their rows, so unit contents are preserved. The
+// intra-row SWAPs follow the 1xUnit odd-even dynamics, so a SWAP whose
+// occupants are themselves a wanted pair becomes a unified program gate —
+// the Appendix A merging optimisation that lets gridATA skip the separate
+// intra-unit phase.
+//
+// The vertical compute layer and the intra-row swap layer touch the same
+// qubits, so a step contributes up to two cycles (compute, then swaps).
+func bipartiteGrid(st *State, units [][]int, pairs [][2]int, sc *scope, emit EmitFunc) {
+	C := 0
+	for _, pr := range pairs {
+		if l := len(units[pr[0]]); l > C {
+			C = l
+		}
+	}
+	for cyc := 0; cyc < C; cyc++ {
+		if sc.done() {
+			return
+		}
+		start := cyc % 2
+		var step Step
+		var swapStep Step
+		var swapLayer []graph.Edge
+		rotate := func(row []int, parity int) {
+			for i := parity; i+1 < len(row); i += 2 {
+				if tag, ok := st.WantedPhys(row[i], row[i+1]); ok {
+					swapStep.Compute = append(swapStep.Compute, st.emitCompute(sc, row[i], row[i+1], tag, true))
+					st.ApplySwap(row[i], row[i+1])
+					continue
+				}
+				st.ApplySwap(row[i], row[i+1])
+				swapLayer = append(swapLayer, graph.NewEdge(row[i], row[i+1]))
+			}
+		}
+		for _, pr := range pairs {
+			rowA, rowB := units[pr[0]], units[pr[1]]
+			m := len(rowA)
+			if len(rowB) < m {
+				m = len(rowB)
+			}
+			for i := 0; i < m; i++ {
+				if tag, ok := st.WantedPhys(rowA[i], rowB[i]); ok {
+					step.Compute = append(step.Compute, st.emitCompute(sc, rowA[i], rowB[i], tag, false))
+				}
+			}
+			if cyc == C-1 {
+				continue // final alignment needs no further rotation
+			}
+			rotate(rowA, start)
+			rotate(rowB, 1-start)
+		}
+		if len(step.Compute) > 0 {
+			emit(step)
+		}
+		if len(swapLayer) > 0 {
+			swapStep.Swaps = append(swapStep.Swaps, swapLayer)
+			swapStep.ParallelSwaps = true // fused ops and plain swaps share the layer
+		}
+		if len(swapStep.Compute) > 0 || len(swapStep.Swaps) > 0 {
+			emit(swapStep)
+		}
+	}
+}
+
+// snakeATA runs the linear pattern over the architecture's Hamiltonian
+// snake — the simple O(n)-depth fallback the paper's structured solutions
+// are compared against (and the solution used for the 3D lattice, whose
+// hierarchical decomposition §3.2 only sketches).
+func snakeATA(st *State, region arch.Region, emit EmitFunc) {
+	snake := st.A.Snake
+	if snake == nil {
+		return
+	}
+	if !region.UsesPath && len(st.A.Units) > 0 {
+		// Restrict the snake to qubits inside the region rectangle.
+		unitOf, posOf := st.A.UnitIndex()
+		var seg []int
+		for _, q := range snake {
+			u, p := unitOf[q], posOf[q]
+			if u >= region.U0 && u <= region.U1 && p >= region.P0 && p <= region.P1 {
+				seg = append(seg, q)
+			}
+		}
+		// The restriction of a boustrophedon snake to a sub-rectangle stays
+		// contiguous only row-by-row; validate adjacency and fall back to
+		// the full snake when broken.
+		ok := true
+		for i := 0; i+1 < len(seg); i++ {
+			if !st.A.G.HasEdge(seg[i], seg[i+1]) {
+				ok = false
+				break
+			}
+		}
+		if ok && len(seg) >= 2 {
+			linear(st, [][]int{seg}, linearOpts{}, emit)
+			return
+		}
+	}
+	linear(st, [][]int{snake}, linearOpts{}, emit)
+}

@@ -1,0 +1,192 @@
+package swapnet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/graph"
+)
+
+// randomMapping places n logical qubits on distinct random physical qubits.
+func randomMapping(rng *rand.Rand, nLogical, nPhys int) []int {
+	perm := rng.Perm(nPhys)
+	return perm[:nLogical]
+}
+
+// TestATAPropertyRandomMappings: for random architectures, problem graphs
+// and initial mappings, ATA always drains the want set and every emitted
+// operation is legal (validated by the shadow replay in runCheckedFrom).
+func TestATAPropertyRandomMappings(t *testing.T) {
+	archs := []func() *arch.Arch{
+		func() *arch.Arch { return arch.Line(10) },
+		func() *arch.Arch { return arch.Grid(4, 4) },
+		func() *arch.Arch { return arch.Sycamore(4, 4) },
+		func() *arch.Arch { return arch.Hexagon(4, 4) },
+		func() *arch.Arch { return arch.HeavyHex(2, 8) },
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := archs[rng.Intn(len(archs))]()
+		nLogical := 2 + rng.Intn(a.N()-1)
+		p := graph.Gnp(nLogical, 0.2+0.6*rng.Float64(), rng)
+		initial := randomMapping(rng, nLogical, a.N())
+		st := NewState(a, nLogical, initial, p)
+		ok := true
+		shadow := make([]int, a.N())
+		for i := range shadow {
+			shadow[i] = -1
+		}
+		for l, ph := range initial {
+			shadow[ph] = l
+		}
+		emit := func(s Step) {
+			used := map[int]bool{}
+			for _, g := range s.Compute {
+				if !a.G.HasEdge(g.P, g.Q) || used[g.P] || used[g.Q] {
+					ok = false
+				}
+				used[g.P], used[g.Q] = true, true
+				lu, lv := shadow[g.P], shadow[g.Q]
+				if lu < 0 || lv < 0 || graph.NewEdge(lu, lv) != g.Tag {
+					ok = false
+				}
+				if g.Fused {
+					shadow[g.P], shadow[g.Q] = shadow[g.Q], shadow[g.P]
+				}
+			}
+			for _, layer := range s.Swaps {
+				lu := map[int]bool{}
+				for _, e := range layer {
+					if !a.G.HasEdge(e.U, e.V) || lu[e.U] || lu[e.V] {
+						ok = false
+					}
+					lu[e.U], lu[e.V] = true, true
+					shadow[e.U], shadow[e.V] = shadow[e.V], shadow[e.U]
+				}
+			}
+		}
+		if err := ATA(st, arch.FullRegion(a), emit); err != nil {
+			return false
+		}
+		return ok && st.Want.Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestATALinearDepthProperty: clique cycle depth stays within a constant
+// factor of n across sizes — the worst-case linear bound of §3.
+func TestATALinearDepthProperty(t *testing.T) {
+	type mk struct {
+		name  string
+		build func(side int) *arch.Arch
+		slack float64
+	}
+	families := []mk{
+		{"grid", func(s int) *arch.Arch { return arch.Grid(s, s) }, 3.2},
+		{"sycamore", func(s int) *arch.Arch { return arch.Sycamore(s, s) }, 3.2},
+		{"hexagon", func(s int) *arch.Arch { return arch.Hexagon(s, s) }, 3.6},
+	}
+	for _, fam := range families {
+		var ratios []float64
+		for _, side := range []int{4, 6, 8} {
+			a := fam.build(side)
+			n := a.N()
+			st := NewState(a, n, nil, graph.Complete(n))
+			var c Counter
+			if err := ATA(st, arch.FullRegion(a), c.Emit); err != nil {
+				t.Fatal(err)
+			}
+			if !st.Want.Empty() {
+				t.Fatalf("%s side %d incomplete", fam.name, side)
+			}
+			ratios = append(ratios, float64(c.Cycles)/float64(n))
+		}
+		for i, r := range ratios {
+			if r > fam.slack {
+				t.Errorf("%s: depth/n ratio %.2f at size %d exceeds %v", fam.name, r, []int{4, 6, 8}[i], fam.slack)
+			}
+		}
+		// Linearity: the ratio must not grow with size (allow 25% wobble).
+		if ratios[2] > ratios[0]*1.25+0.4 {
+			t.Errorf("%s: ratio grows with size: %v", fam.name, ratios)
+		}
+	}
+}
+
+// TestHeavyHexLinearDepthProperty mirrors the bound for the two-pass path
+// solution, which has a larger constant.
+func TestHeavyHexLinearDepthProperty(t *testing.T) {
+	var ratios []float64
+	sizes := [][2]int{{2, 8}, {3, 12}, {4, 16}}
+	for _, sz := range sizes {
+		a := arch.HeavyHex(sz[0], sz[1])
+		n := a.N()
+		st := NewState(a, n, nil, graph.Complete(n))
+		var c Counter
+		if err := ATA(st, arch.FullRegion(a), c.Emit); err != nil {
+			t.Fatal(err)
+		}
+		if !st.Want.Empty() {
+			t.Fatalf("heavy-hex %v incomplete", sz)
+		}
+		ratios = append(ratios, float64(c.Cycles)/float64(n))
+	}
+	for i, r := range ratios {
+		if r > 8 {
+			t.Errorf("heavy-hex %v: depth/n = %.2f", sizes[i], r)
+		}
+	}
+	if ratios[2] > ratios[0]*1.4+0.5 {
+		t.Errorf("heavy-hex ratio grows with size: %v", ratios)
+	}
+}
+
+// TestATAGateCountNeverExceedsCliqueBudget: pattern gate count equals the
+// problem size exactly and swap count is bounded by the clique run's.
+func TestATAGateCountProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := arch.Grid(5, 5)
+		p := graph.Gnp(25, 0.15+0.7*rng.Float64(), rng)
+		st := NewState(a, 25, nil, p)
+		var c Counter
+		if err := ATA(st, arch.FullRegion(a), c.Emit); err != nil {
+			return false
+		}
+		return st.Want.Empty() && c.Gates == p.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStateCloneIndependence: mutating a clone leaves the original intact.
+func TestStateCloneIndependence(t *testing.T) {
+	a := arch.Line(6)
+	st := NewState(a, 6, nil, graph.Complete(6))
+	cl := st.Clone()
+	cl.ApplySwap(0, 1)
+	cl.Want.Remove(graph.NewEdge(0, 1))
+	if st.P2L[0] != 0 || st.Want.Len() != 15 {
+		t.Fatal("clone mutation leaked")
+	}
+}
+
+// TestNewStateFromMappingRejectsBadMappings guards the hybrid entry point.
+func TestNewStateFromMappingRejectsBadMappings(t *testing.T) {
+	a := arch.Line(4)
+	for _, bad := range [][]int{{0, 0}, {0, 9}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("mapping %v accepted", bad)
+				}
+			}()
+			NewStateFromMapping(a, bad, NewEdgeSet(graph.Complete(2)))
+		}()
+	}
+}

@@ -1,0 +1,280 @@
+// Package swapnet implements the paper's structured all-to-all (ATA)
+// SWAP-network patterns: the linear 1xUnit pattern (Fig 6/7), the 2D-grid
+// 2xUnit bipartite pattern (Fig 8/9) and full grid solution (§3.1), the
+// Sycamore solution (§3.2.1), the hexagon solution (§3.2.2), and the IBM
+// heavy-hex two-pass longest-path solution (§5.1).
+//
+// Every pattern is resumable: it starts from the *current* logical-to-
+// physical mapping, emits program gates only for edges still in the want
+// set (skipping the rest, §5.2), can be confined to a Region (§6.3 range
+// detection), and stops as soon as its scope is exhausted. This one
+// property serves the clique solution, the sparse-circuit adaptation, and
+// the hybrid compiler's ATA prediction.
+package swapnet
+
+import (
+	"fmt"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/graph"
+)
+
+// EdgeSet is a mutable set of logical problem edges (the gates still to be
+// scheduled — the paper's candidate gate list).
+type EdgeSet struct {
+	m map[graph.Edge]struct{}
+}
+
+// NewEdgeSet returns the edge set of g.
+func NewEdgeSet(g *graph.Graph) *EdgeSet {
+	s := &EdgeSet{m: make(map[graph.Edge]struct{}, g.M())}
+	for _, e := range g.Edges() {
+		s.m[e] = struct{}{}
+	}
+	return s
+}
+
+// Has reports membership.
+func (s *EdgeSet) Has(e graph.Edge) bool { _, ok := s.m[e]; return ok }
+
+// Remove deletes e, reporting whether it was present.
+func (s *EdgeSet) Remove(e graph.Edge) bool {
+	if _, ok := s.m[e]; !ok {
+		return false
+	}
+	delete(s.m, e)
+	return true
+}
+
+// Len returns the number of remaining edges.
+func (s *EdgeSet) Len() int { return len(s.m) }
+
+// Empty reports whether no edges remain.
+func (s *EdgeSet) Empty() bool { return len(s.m) == 0 }
+
+// Edges returns the remaining edges in unspecified order.
+func (s *EdgeSet) Edges() []graph.Edge {
+	out := make([]graph.Edge, 0, len(s.m))
+	for e := range s.m {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Clone returns an independent copy.
+func (s *EdgeSet) Clone() *EdgeSet {
+	c := &EdgeSet{m: make(map[graph.Edge]struct{}, len(s.m))}
+	for e := range s.m {
+		c.m[e] = struct{}{}
+	}
+	return c
+}
+
+// PhysGate is a program gate scheduled on a physical pair. Fused gates are
+// the unified gate+SWAP of the structured patterns (the mapping swap is
+// implied and already applied to the State).
+type PhysGate struct {
+	P, Q  int
+	Tag   graph.Edge
+	Fused bool
+}
+
+// Step is one pattern cycle: a compute layer and zero or more SWAP layers
+// executed after it. Swap layers are already applied to the State when the
+// step is emitted.
+type Step struct {
+	Compute []PhysGate
+	Swaps   [][]graph.Edge
+	// ParallelSwaps marks that the first swap layer is qubit-disjoint from
+	// the compute layer and executes in the same cycle — the linear
+	// pattern's rounds put the unified gate+SWAPs and the plain SWAPs of
+	// one parity side by side (both are 3 CX deep).
+	ParallelSwaps bool
+}
+
+// Depth returns the step's contribution to cycle depth: one cycle if any
+// compute happens, plus one per non-empty swap layer (the first swap layer
+// is free when ParallelSwaps is set and a compute layer exists).
+func (s Step) Depth() int {
+	d := 0
+	if len(s.Compute) > 0 {
+		d++
+	}
+	for i, l := range s.Swaps {
+		if len(l) == 0 {
+			continue
+		}
+		if i == 0 && s.ParallelSwaps && len(s.Compute) > 0 {
+			continue
+		}
+		d++
+	}
+	return d
+}
+
+// EmitFunc consumes pattern steps.
+type EmitFunc func(Step)
+
+// State is the mutable execution state a pattern advances: the placement of
+// logical qubits and the remaining wanted edges.
+type State struct {
+	A    *arch.Arch
+	L2P  []int // logical -> physical
+	P2L  []int // physical -> logical; -1 for empty slots
+	Want *EdgeSet
+}
+
+// NewState returns a state over architecture a with nLogical qubits placed
+// by initial (identity when nil) and the edges of problem wanted.
+func NewState(a *arch.Arch, nLogical int, initial []int, problem *graph.Graph) *State {
+	if nLogical > a.N() {
+		panic(fmt.Sprintf("swapnet: %d logical qubits exceed %d physical", nLogical, a.N()))
+	}
+	l2p := make([]int, nLogical)
+	if initial == nil {
+		for i := range l2p {
+			l2p[i] = i
+		}
+	} else {
+		copy(l2p, initial)
+	}
+	p2l := make([]int, a.N())
+	for i := range p2l {
+		p2l[i] = -1
+	}
+	for l, p := range l2p {
+		if p < 0 || p >= a.N() || p2l[p] != -1 {
+			panic(fmt.Sprintf("swapnet: invalid mapping %d->%d", l, p))
+		}
+		p2l[p] = l
+	}
+	return &State{A: a, L2P: l2p, P2L: p2l, Want: NewEdgeSet(problem)}
+}
+
+// NewStateFromMapping returns a state resuming from an arbitrary
+// logical-to-physical mapping and an explicit remaining want set — the
+// hybrid compiler's entry point when it branches from a greedy checkpoint
+// into ATA prediction or materialisation (§6.3).
+func NewStateFromMapping(a *arch.Arch, l2p []int, want *EdgeSet) *State {
+	p2l := make([]int, a.N())
+	for i := range p2l {
+		p2l[i] = -1
+	}
+	cp := append([]int(nil), l2p...)
+	for l, p := range cp {
+		if p < 0 || p >= a.N() || p2l[p] != -1 {
+			panic(fmt.Sprintf("swapnet: invalid mapping %d->%d", l, p))
+		}
+		p2l[p] = l
+	}
+	return &State{A: a, L2P: cp, P2L: p2l, Want: want}
+}
+
+// Clone returns a deep copy (used by the predictor).
+func (st *State) Clone() *State {
+	c := &State{A: st.A, Want: st.Want.Clone()}
+	c.L2P = append([]int(nil), st.L2P...)
+	c.P2L = append([]int(nil), st.P2L...)
+	return c
+}
+
+// WantedPhys returns the wanted logical edge currently residing on physical
+// pair (p, q), if any.
+func (st *State) WantedPhys(p, q int) (graph.Edge, bool) {
+	lp, lq := st.P2L[p], st.P2L[q]
+	if lp < 0 || lq < 0 {
+		return graph.Edge{}, false
+	}
+	e := graph.NewEdge(lp, lq)
+	return e, st.Want.Has(e)
+}
+
+// ApplySwap exchanges the logical occupants of physical p and q.
+func (st *State) ApplySwap(p, q int) {
+	lp, lq := st.P2L[p], st.P2L[q]
+	st.P2L[p], st.P2L[q] = lq, lp
+	if lp >= 0 {
+		st.L2P[lp] = q
+	}
+	if lq >= 0 {
+		st.L2P[lq] = p
+	}
+}
+
+// scope tracks the subset of wanted edges a pattern phase is responsible
+// for, so phases terminate as soon as their own work is done even while the
+// global want set still holds edges for other regions or phases.
+type scope struct {
+	rel map[graph.Edge]struct{}
+}
+
+// newScope collects the wanted edges whose both endpoints currently reside
+// on the given physical qubits.
+func newScope(st *State, phys []int) *scope {
+	sc := &scope{rel: make(map[graph.Edge]struct{})}
+	logicals := make([]int, 0, len(phys))
+	for _, p := range phys {
+		if l := st.P2L[p]; l >= 0 {
+			logicals = append(logicals, l)
+		}
+	}
+	for i := 0; i < len(logicals); i++ {
+		for j := i + 1; j < len(logicals); j++ {
+			e := graph.NewEdge(logicals[i], logicals[j])
+			if st.Want.Has(e) {
+				sc.rel[e] = struct{}{}
+			}
+		}
+	}
+	return sc
+}
+
+// newCrossScope collects wanted edges with one endpoint on physA and the
+// other on physB.
+func newCrossScope(st *State, physA, physB []int) *scope {
+	sc := &scope{rel: make(map[graph.Edge]struct{})}
+	var la, lb []int
+	for _, p := range physA {
+		if l := st.P2L[p]; l >= 0 {
+			la = append(la, l)
+		}
+	}
+	for _, p := range physB {
+		if l := st.P2L[p]; l >= 0 {
+			lb = append(lb, l)
+		}
+	}
+	for _, x := range la {
+		for _, y := range lb {
+			if x == y {
+				continue
+			}
+			e := graph.NewEdge(x, y)
+			if st.Want.Has(e) {
+				sc.rel[e] = struct{}{}
+			}
+		}
+	}
+	return sc
+}
+
+func (sc *scope) computed(e graph.Edge) { delete(sc.rel, e) }
+func (sc *scope) done() bool            { return len(sc.rel) == 0 }
+
+// merge absorbs another scope's relevant set.
+func (sc *scope) merge(o *scope) {
+	for e := range o.rel {
+		sc.rel[e] = struct{}{}
+	}
+}
+
+// emitCompute records a wanted gate on (p,q): removes it from Want, updates
+// the scope, and returns the PhysGate. Call only after WantedPhys reported
+// true.
+func (st *State) emitCompute(sc *scope, p, q int, tag graph.Edge, fused bool) PhysGate {
+	st.Want.Remove(tag)
+	if sc != nil {
+		sc.computed(tag)
+	}
+	return PhysGate{P: p, Q: q, Tag: tag, Fused: fused}
+}
