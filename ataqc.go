@@ -36,6 +36,7 @@ import (
 	"github.com/ata-pattern/ataqc/internal/qaoa"
 	"github.com/ata-pattern/ataqc/internal/sim"
 	"github.com/ata-pattern/ataqc/internal/solver"
+	"github.com/ata-pattern/ataqc/internal/verify"
 )
 
 // Device is a quantum architecture target, optionally calibrated with a
@@ -234,6 +235,7 @@ type Result struct {
 	problem  *Problem
 	circuit  *circuit.Circuit
 	initial  []int
+	final    []int
 	metrics  core.Metrics
 	strategy Strategy
 }
@@ -275,7 +277,7 @@ func Compile(dev *Device, p *Problem, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.circuit, res.initial, res.metrics = r.Circuit, r.Initial, r.Metrics
+		res.circuit, res.initial, res.final, res.metrics = r.Circuit, r.Initial, r.Final, r.Metrics
 	case Strategy2QAN, StrategyQAIM, StrategyPaulihedral:
 		var (
 			b   *baseline.Result
@@ -292,7 +294,7 @@ func Compile(dev *Device, p *Problem, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.circuit, res.initial = b.Circuit, b.Initial
+		res.circuit, res.initial, res.final = b.Circuit, b.Initial, b.Final
 		res.metrics = core.Measure(b.Circuit, nm)
 	default:
 		return nil, fmt.Errorf("ataqc: unknown strategy %q", strategy)
@@ -323,9 +325,60 @@ func (r *Result) InitialMapping() []int {
 	return out
 }
 
-// FinalMapping returns where each logical qubit ends up.
+// FinalMapping returns where each logical qubit ends up. The compilers
+// track this as they build (and the perm-soundness analyzer confirms it
+// against the circuit's SWAPs); replaying is only a fallback.
 func (r *Result) FinalMapping() []int {
+	if r.final != nil {
+		out := make([]int, len(r.final))
+		copy(out, r.final)
+		return out
+	}
 	return circuit.FinalMapping(r.circuit, r.initial)
+}
+
+// Diagnostic is one finding from the static circuit verifier: a named
+// analyzer, a severity, the offending gate's index in the compiled stream
+// (-1 for circuit-level findings), and a human-readable message.
+type Diagnostic struct {
+	Analyzer string // e.g. "arch-conformance", "dead-swap"
+	Severity string // "error" or "warning"
+	Gate     int    // gate index; -1 = whole-circuit finding
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	if d.Gate < 0 {
+		return fmt.Sprintf("%s: %s: %s", d.Severity, d.Analyzer, d.Message)
+	}
+	return fmt.Sprintf("%s: %s: gate %d: %s", d.Severity, d.Analyzer, d.Gate, d.Message)
+}
+
+// Lint runs every verification analyzer over the compiled circuit: coupling
+// conformance, permutation soundness, interaction coverage, depth
+// consistency, and dead-SWAP detection. Compile already enforces the
+// error-severity analyzers on every result, so a successful compilation can
+// only yield warning-severity findings here.
+func (r *Result) Lint() []Diagnostic {
+	pass := &verify.Pass{
+		Circuit:       r.circuit,
+		Arch:          r.dev.arch,
+		Problem:       r.problem.g,
+		Initial:       r.initial,
+		Final:         r.final,
+		ReportedDepth: r.metrics.Depth,
+		CheckDepth:    true,
+	}
+	var out []Diagnostic
+	for _, d := range verify.Run(pass, verify.All...) {
+		out = append(out, Diagnostic{
+			Analyzer: d.Analyzer,
+			Severity: d.Severity.String(),
+			Gate:     d.Gate,
+			Message:  d.Message,
+		})
+	}
+	return out
 }
 
 // WriteQASM emits the compiled circuit as OpenQASM 2.0.

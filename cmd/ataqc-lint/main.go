@@ -1,0 +1,160 @@
+// Command ataqc-lint statically verifies compiled circuits without
+// simulating them. It runs the internal/verify analyzers — arch-conformance,
+// perm-soundness, coverage, depth-consistency, dead-swap — and prints one
+// line per finding with machine-readable gate positions.
+//
+// Two input modes:
+//
+//	ataqc-lint -problem edges.txt -arch grid [-strategy hybrid]
+//	    compile the edge-list problem with the chosen strategy and lint the
+//	    result with every analyzer (problem and mapping are known, so the
+//	    full invariant set applies)
+//	ataqc-lint -qasm out.qasm -arch grid
+//	    parse an OpenQASM 2.0 gate stream and lint it against the coupling
+//	    graph of the architecture sized to its qreg (only placement checks
+//	    apply: the interaction graph and mapping are not recoverable from
+//	    plain QASM)
+//
+// Exit codes, suitable for CI: 0 = clean or warnings only, 1 = error
+// findings, unparseable QASM, or warnings under -werror, 2 = bad usage or
+// unreadable input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/ata-pattern/ataqc"
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/bench"
+	"github.com/ata-pattern/ataqc/internal/circuit"
+	"github.com/ata-pattern/ataqc/internal/verify"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		probFile = flag.String("problem", "", "edge-list problem file: compile it and lint the result")
+		qasmFile = flag.String("qasm", "", "OpenQASM 2.0 file: lint the gate stream against the coupling graph")
+		family   = flag.String("arch", "grid", "architecture family: line, grid, sycamore, heavy-hex, hexagon, mumbai")
+		strategy = flag.String("strategy", "hybrid", "compiler for -problem mode: hybrid, greedy, ata, 2qan, qaim, paulihedral")
+		werror   = flag.Bool("werror", false, "treat warning-severity findings as errors")
+	)
+	flag.Parse()
+
+	if (*probFile == "") == (*qasmFile == "") {
+		fmt.Fprintln(os.Stderr, "ataqc-lint: exactly one of -problem or -qasm is required")
+		flag.Usage()
+		return 2
+	}
+
+	var (
+		diags []ataqc.Diagnostic
+		label string
+	)
+	if *probFile != "" {
+		switch ataqc.Strategy(*strategy) {
+		case ataqc.StrategyHybrid, ataqc.StrategyGreedy, ataqc.StrategyATA,
+			ataqc.Strategy2QAN, ataqc.StrategyQAIM, ataqc.StrategyPaulihedral:
+		default:
+			fmt.Fprintf(os.Stderr, "ataqc-lint: unknown strategy %q\n", *strategy)
+			return 2
+		}
+		prob, err := ataqc.LoadProblem(*probFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ataqc-lint:", err)
+			return 2
+		}
+		dev, err := deviceFor(*family, prob.Qubits())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ataqc-lint:", err)
+			return 2
+		}
+		res, err := ataqc.Compile(dev, prob, ataqc.Options{Strategy: ataqc.Strategy(*strategy)})
+		if err != nil {
+			// Compile enforces the error-severity analyzers itself, so a
+			// verification failure surfaces here — that is a lint failure,
+			// not a usage error.
+			fmt.Fprintln(os.Stderr, "ataqc-lint:", err)
+			return 1
+		}
+		diags = res.Lint()
+		label = fmt.Sprintf("%s on %s (%d gates)", *probFile, dev.Name(), res.CXCount())
+	} else {
+		f, err := os.Open(*qasmFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ataqc-lint:", err)
+			return 2
+		}
+		c, parseErr := circuit.ParseQASM(f)
+		f.Close()
+		if parseErr != nil {
+			fmt.Fprintln(os.Stderr, "ataqc-lint:", parseErr)
+			return 1
+		}
+		a, err := archFor(*family, c.NQubits)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ataqc-lint:", err)
+			return 2
+		}
+		pass := &verify.Pass{Circuit: c, Arch: a}
+		for _, d := range verify.Run(pass, verify.ArchConformance, verify.DeadSwap) {
+			diags = append(diags, ataqc.Diagnostic{
+				Analyzer: d.Analyzer, Severity: d.Severity.String(), Gate: d.Gate, Message: d.Message,
+			})
+		}
+		label = fmt.Sprintf("%s on %s (%d gates)", *qasmFile, a.Name, len(c.Gates))
+	}
+
+	errs, warns := 0, 0
+	for _, d := range diags {
+		fmt.Println(d)
+		if d.Severity == "error" {
+			errs++
+		} else {
+			warns++
+		}
+	}
+	switch {
+	case errs > 0 || (*werror && warns > 0):
+		fmt.Printf("%s: %d error(s), %d warning(s)\n", label, errs, warns)
+		return 1
+	case warns > 0:
+		fmt.Printf("%s: ok, %d warning(s)\n", label, warns)
+	default:
+		fmt.Printf("%s: ok\n", label)
+	}
+	return 0
+}
+
+// deviceFor sizes a public-API device for -problem mode.
+func deviceFor(family string, n int) (*ataqc.Device, error) {
+	switch family {
+	case "line":
+		return ataqc.LineDevice(n), nil
+	case "grid":
+		return ataqc.GridDevice(n), nil
+	case "sycamore":
+		return ataqc.SycamoreDevice(n), nil
+	case "heavy-hex", "heavyhex":
+		return ataqc.HeavyHexDevice(n), nil
+	case "hexagon":
+		return ataqc.HexagonDevice(n), nil
+	case "mumbai":
+		return ataqc.MumbaiDevice(), nil
+	}
+	return nil, fmt.Errorf("unknown architecture family %q", family)
+}
+
+// archFor sizes a coupling graph for -qasm mode. The qreg of QASM emitted
+// by this toolchain records the physical qubit count, so sizing the family
+// to it reproduces the original device; a mismatch is reported by the
+// arch-conformance analyzer rather than guessed away here.
+func archFor(family string, n int) (*arch.Arch, error) {
+	if family == "mumbai" {
+		return arch.Mumbai(), nil
+	}
+	return bench.ArchFor(family, n)
+}

@@ -39,6 +39,17 @@ func main() {
 	)
 	flag.Parse()
 
+	// Flag values feed generators and device constructors that treat bad
+	// sizes as internal invariants; reject them at the user-input boundary.
+	if *probFile == "" {
+		if *n < 2 {
+			log.Fatalf("-n must be at least 2 (got %d)", *n)
+		}
+		if *density <= 0 || *density > 1 {
+			log.Fatalf("-density must be in (0,1] (got %g)", *density)
+		}
+	}
+
 	// The problem comes first: a file-loaded instance determines the
 	// device size.
 	var prob *ataqc.Problem

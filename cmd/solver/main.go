@@ -28,6 +28,15 @@ func main() {
 	)
 	flag.Parse()
 
+	// Flag values reach architecture constructors that treat bad sizes as
+	// internal invariants; reject them at the user-input boundary instead.
+	if *rows < 1 || *cols < 1 {
+		log.Fatalf("-rows and -cols must be positive (got %d, %d)", *rows, *cols)
+	}
+	if *maxNodes < 1 {
+		log.Fatalf("-maxnodes must be positive (got %d)", *maxNodes)
+	}
+
 	var a *arch.Arch
 	switch *family {
 	case "line":

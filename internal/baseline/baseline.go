@@ -16,13 +16,35 @@ import (
 	"github.com/ata-pattern/ataqc/internal/arch"
 	"github.com/ata-pattern/ataqc/internal/circuit"
 	"github.com/ata-pattern/ataqc/internal/graph"
+	"github.com/ata-pattern/ataqc/internal/verify"
 )
 
 // Result is a baseline compilation outcome.
 type Result struct {
 	Circuit *circuit.Circuit
 	Initial []int
-	Name    string
+	// Final is the final logical-to-physical mapping the strategy claims.
+	Final []int
+	Name  string
+}
+
+// finish packages a built circuit as a Result after running the shared
+// static analyzers (internal/verify) on it — the baselines get exactly the
+// same output scrutiny as the main compiler, so a baseline that drops or
+// misroutes a term errors out instead of reporting bogus metrics.
+func finish(name string, a *arch.Arch, problem *graph.Graph, b *circuit.Builder) (*Result, error) {
+	res := &Result{Circuit: b.C, Initial: b.InitialMapping(), Final: b.CurrentMapping(), Name: name}
+	pass := &verify.Pass{
+		Circuit: res.Circuit,
+		Arch:    a,
+		Problem: problem,
+		Initial: res.Initial,
+		Final:   res.Final,
+	}
+	if err := verify.Check(pass, verify.Strict...); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", name, err)
+	}
+	return res, nil
 }
 
 // routeLayer executes the given logical gates (a connectivity-oblivious

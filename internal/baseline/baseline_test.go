@@ -7,7 +7,19 @@ import (
 	"github.com/ata-pattern/ataqc/internal/arch"
 	"github.com/ata-pattern/ataqc/internal/circuit"
 	"github.com/ata-pattern/ataqc/internal/graph"
+	"github.com/ata-pattern/ataqc/internal/verify"
 )
+
+// checkVerified runs the shared strict analyzers over a baseline result —
+// the same oracle the compilers themselves enforce, so tests and production
+// cannot drift apart.
+func checkVerified(t *testing.T, label string, a *arch.Arch, p *graph.Graph, res *Result) {
+	t.Helper()
+	pass := &verify.Pass{Circuit: res.Circuit, Arch: a, Problem: p, Initial: res.Initial, Final: res.Final}
+	if err := verify.Check(pass, verify.Strict...); err != nil {
+		t.Fatalf("%s: invalid circuit: %v", label, err)
+	}
+}
 
 type compiler func(*arch.Arch, *graph.Graph, float64) (*Result, error)
 
@@ -38,9 +50,7 @@ func TestBaselinesProduceValidCircuits(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s/%s: %v", name, a.Name, err)
 			}
-			if err := circuit.Validate(res.Circuit, a, p, res.Initial); err != nil {
-				t.Fatalf("%s/%s: invalid circuit: %v", name, a.Name, err)
-			}
+			checkVerified(t, name+"/"+a.Name, a, p, res)
 		}
 	}
 }
@@ -53,9 +63,7 @@ func TestBaselinesHandleClique(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if err := circuit.Validate(res.Circuit, a, p, res.Initial); err != nil {
-			t.Fatalf("%s: %v", name, err)
-		}
+		checkVerified(t, name, a, p, res)
 	}
 }
 
@@ -68,9 +76,7 @@ func TestBaselinesHandleTrivialProblems(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if err := circuit.Validate(res.Circuit, a, p, res.Initial); err != nil {
-			t.Fatalf("%s: %v", name, err)
-		}
+		checkVerified(t, name, a, p, res)
 	}
 }
 

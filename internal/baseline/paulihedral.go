@@ -27,7 +27,7 @@ func Paulihedral(a *arch.Arch, problem *graph.Graph, angle float64) (*Result, er
 			return nil, err
 		}
 	}
-	return &Result{Circuit: b.C, Initial: b.InitialMapping(), Name: "paulihedral"}, nil
+	return finish("paulihedral", a, problem, b)
 }
 
 // matchingLayers decomposes the edge set into maximal-matching layers:

@@ -79,7 +79,7 @@ func QAIM(a *arch.Arch, problem *graph.Graph, angle float64) (*Result, error) {
 			return nil, err
 		}
 	}
-	return &Result{Circuit: b.C, Initial: b.InitialMapping(), Name: "qaim"}, nil
+	return finish("qaim", a, problem, b)
 }
 
 // connectivityStrengthPlacement maps logical qubits in decreasing

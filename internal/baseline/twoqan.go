@@ -132,7 +132,7 @@ func TwoQAN(a *arch.Arch, problem *graph.Graph, angle float64) (*Result, error) 
 			return nil, err
 		}
 	}
-	return &Result{Circuit: b.C, Initial: b.InitialMapping(), Name: "2qan"}, nil
+	return finish("2qan", a, problem, b)
 }
 
 // quadraticPlacement hill-climbs the placement: repeatedly try swapping the

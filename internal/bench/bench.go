@@ -121,19 +121,25 @@ func CompileWith(method string, a *arch.Arch, p *graph.Graph, nm *noise.Model) (
 }
 
 // ArchFor returns the minimum near-square architecture of the given family
-// that fits n logical qubits (§7.1).
-func ArchFor(family string, n int) *arch.Arch {
+// that fits n logical qubits (§7.1). The family name reaches this function
+// from CLI flags, so an unknown one is a returned error, not a panic.
+func ArchFor(family string, n int) (*arch.Arch, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("bench: architecture needs at least 1 qubit, got %d", n)
+	}
 	switch family {
 	case "heavy-hex", "heavyhex":
-		return arch.HeavyHexN(n)
+		return arch.HeavyHexN(n), nil
 	case "sycamore":
-		return arch.SycamoreN(n)
+		return arch.SycamoreN(n), nil
 	case "grid":
-		return arch.GridN(n)
+		return arch.GridN(n), nil
 	case "hexagon":
-		return arch.HexagonN(n)
+		return arch.HexagonN(n), nil
+	case "line":
+		return arch.Line(n), nil
 	default:
-		panic("bench: unknown architecture family " + family)
+		return nil, fmt.Errorf("bench: unknown architecture family %q", family)
 	}
 }
 
@@ -161,6 +167,9 @@ func RegularWorkload(n int, density float64, trials int, seed int64) Workload {
 	for i := 0; i < trials; i++ {
 		g, err := graph.RegularByDensity(n, density, rng)
 		if err != nil {
+			// Audit note: only in-repo experiment configs with known-feasible
+			// (n, density) pairs reach this; infeasibility here is a broken
+			// experiment table, which is an internal invariant.
 			panic(err)
 		}
 		w.Graphs = append(w.Graphs, g)

@@ -13,7 +13,10 @@ import (
 func tinyConfig() Config { return Config{Quick: true, Trials: 1, Seed: 1} }
 
 func TestCompileWithAllMethods(t *testing.T) {
-	a := ArchFor("heavy-hex", 16)
+	a, err := ArchFor("heavy-hex", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	w := RandomWorkload(16, 0.3, 1, 1)
 	for _, m := range []string{MethodOurs, MethodGreedy, MethodSolver, MethodQAIM, MethodPaulihedral, Method2QAN} {
 		s, err := CompileWith(m, a, w.Graphs[0], nil)
@@ -30,11 +33,20 @@ func TestCompileWithAllMethods(t *testing.T) {
 }
 
 func TestArchForFamilies(t *testing.T) {
-	for _, f := range []string{"heavy-hex", "sycamore", "grid", "hexagon"} {
-		a := ArchFor(f, 30)
+	for _, f := range []string{"heavy-hex", "sycamore", "grid", "hexagon", "line"} {
+		a, err := ArchFor(f, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if a.N() < 30 {
 			t.Fatalf("%s: %d qubits", f, a.N())
 		}
+	}
+	if _, err := ArchFor("torus", 30); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	if _, err := ArchFor("grid", 0); err == nil {
+		t.Fatal("zero-qubit architecture accepted")
 	}
 }
 

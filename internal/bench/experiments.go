@@ -65,7 +65,10 @@ func RunFig17(cfg Config) (*Report, error) {
 	for _, family := range []string{"heavy-hex", "sycamore"} {
 		for _, density := range []float64{0.1, 0.3} {
 			for _, n := range sizes {
-				a := ArchFor(family, n)
+				a, err := ArchFor(family, n)
+				if err != nil {
+					return nil, err
+				}
 				w := RandomWorkload(n, density, cfg.trialsFor(n), cfg.Seed)
 				var row []string
 				row = append(row, a.Name, w.Name)
@@ -109,7 +112,10 @@ func RunDepthGate(cfg Config, family string) (*Report, error) {
 	for _, kind := range []string{"rand", "reg"} {
 		for _, density := range []float64{0.3, 0.5} {
 			for _, n := range sizes {
-				a := ArchFor(family, n)
+				a, err := ArchFor(family, n)
+				if err != nil {
+					return nil, err
+				}
 				var w Workload
 				if kind == "rand" {
 					w = RandomWorkload(n, density, cfg.trialsFor(n), cfg.Seed)
@@ -152,7 +158,10 @@ func RunTable1(cfg Config) (*Report, error) {
 	for _, family := range []string{"heavy-hex", "sycamore"} {
 		for _, density := range []float64{0.3, 0.5} {
 			for _, n := range sizes {
-				a := ArchFor(family, n)
+				a, err := ArchFor(family, n)
+				if err != nil {
+					return nil, err
+				}
 				w := RandomWorkload(n, density, cfg.trialsFor(n), cfg.Seed)
 				ours, err := averageStats(MethodOurs, a, w, nil)
 				if err != nil {
@@ -210,7 +219,10 @@ func RunTable2(cfg Config) (*Report, error) {
 		regularDegreeWorkload(n, deg2, trials, cfg.Seed+3),
 	}
 	for _, family := range []string{"heavy-hex", "sycamore"} {
-		a := ArchFor(family, n)
+		a, err := ArchFor(family, n)
+		if err != nil {
+			return nil, err
+		}
 		for _, w := range workloads {
 			ours, err := averageStats(MethodOurs, a, w, nil)
 			if err != nil {
@@ -247,7 +259,10 @@ func RunTable3(cfg Config) (*Report, error) {
 		Title:  "2-local Hamiltonian at IBM heavy-hex: Ours vs 2QAN",
 		Header: []string{"benchmark", "depth ours", "depth 2qan", "CX ours", "CX 2qan"},
 	}
-	a := ArchFor("heavy-hex", 64)
+	a, err := ArchFor("heavy-hex", 64)
+	if err != nil {
+		return nil, err
+	}
 	for _, name := range hamiltonian.Names() {
 		p, err := hamiltonian.Benchmark(name)
 		if err != nil {
@@ -442,7 +457,10 @@ func RunCompileTime(cfg Config) (*Report, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	for _, n := range sizes {
 		p := graph.GnpConnected(n, 0.3, rng)
-		a := ArchFor("heavy-hex", n)
+		a, err := ArchFor("heavy-hex", n)
+		if err != nil {
+			return nil, err
+		}
 		s, err := CompileWith(MethodOurs, a, p, nil)
 		if err != nil {
 			return nil, err

@@ -100,6 +100,15 @@ func (b *Builder) swapMapping(p, q int) {
 // PhysOf returns the current physical location of logical qubit l.
 func (b *Builder) PhysOf(l int) int { return b.L2P[l] }
 
+// CurrentMapping returns a copy of the current logical-to-physical mapping
+// — after building, this is the final mapping the compiler claims, which
+// the verify pass refolds the circuit's SWAPs to confirm.
+func (b *Builder) CurrentMapping() []int {
+	out := make([]int, len(b.L2P))
+	copy(out, b.L2P)
+	return out
+}
+
 // LogicalAt returns the logical qubit at physical p, or -1.
 func (b *Builder) LogicalAt(p int) int { return b.P2L[p] }
 

@@ -1,0 +1,111 @@
+package circuit
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/graph"
+)
+
+// emitterSeed builds a small compiled circuit the way the compiler does
+// (program gates + routing SWAPs, as in examples/quickstart) and returns
+// its QASM — a realistic, well-formed corpus entry.
+func emitterSeed() []byte {
+	a := arch.Line(4)
+	b := NewBuilder(a, 4, nil)
+	b.ZZ(0, 1, 0.5, graph.NewEdge(0, 1))
+	b.ZZ(2, 3, -1.25, graph.NewEdge(2, 3))
+	b.Swap(1, 2)
+	b.ZZSwap(0, 1, 0.75, graph.NewEdge(1, 2))
+	var buf bytes.Buffer
+	if err := b.C.WriteQASM(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzQASMRoundTrip: malformed gate streams must surface as parse errors,
+// never panics, and anything that parses must reach a fixed point after one
+// emit/parse round (emit(parse(emit(c))) == emit(c), pinning down angle
+// formatting drift).
+func FuzzQASMRoundTrip(f *testing.F) {
+	f.Add(emitterSeed())
+	f.Add([]byte("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nh q[0];\nrx(0.5) q[1];\nrz(-2.75e-3) q[2];\ncx q[0],q[2];\n"))
+	f.Add([]byte("OPENQASM 2.0;\nqreg q[1];\n// comment\nh q[0];"))
+	f.Add([]byte("OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[0];"))     // self-loop
+	f.Add([]byte("OPENQASM 2.0;\nqreg q[2];\nrx(nan) q[0];"))     // bad angle
+	f.Add([]byte("OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[7];"))     // range
+	f.Add([]byte("OPENQASM 2.0;\nqreg q[2];\nmeasure q -> c;"))   // unsupported
+	f.Add([]byte("qreg q[2];\nh q[0];"))                          // missing header
+	f.Add([]byte("OPENQASM 2.0;\nqreg q[999999999999999999];\n")) // huge reg
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c1, err := ParseQASM(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: a diagnostic, not a crash, is the contract
+		}
+		var gen2 bytes.Buffer
+		if err := c1.WriteQASM(&gen2); err != nil {
+			t.Fatalf("emit of parsed circuit failed: %v", err)
+		}
+		c2, err := ParseQASM(bytes.NewReader(gen2.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse of own emission failed: %v\n%s", err, gen2.String())
+		}
+		var gen3 bytes.Buffer
+		if err := c2.WriteQASM(&gen3); err != nil {
+			t.Fatalf("second emit failed: %v", err)
+		}
+		if gen2.String() != gen3.String() {
+			t.Fatalf("round trip not a fixed point:\n--- gen2:\n%s--- gen3:\n%s", gen2.String(), gen3.String())
+		}
+		if c2.NQubits != c1.NQubits || len(c2.Gates) != len(c1.Gates) {
+			t.Fatalf("round trip changed shape: %d/%d qubits, %d/%d gates",
+				c1.NQubits, c2.NQubits, len(c1.Gates), len(c2.Gates))
+		}
+	})
+}
+
+func TestParseQASMRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"OPENQASM 3.0;\nqreg q[2];",
+		"OPENQASM 2.0;",
+		"OPENQASM 2.0;\nh q[0];",
+		"OPENQASM 2.0;\nqreg q[0];",
+		"OPENQASM 2.0;\nqreg q[2];\nqreg r[2];",
+		"OPENQASM 2.0;\nqreg q[2];\ncz q[0],q[1];",
+		"OPENQASM 2.0;\nqreg q[2];\nrx() q[0];",
+		"OPENQASM 2.0;\nqreg q[2];\nrx(1e999) q[0];",
+		"OPENQASM 2.0;\nqreg q[2];\ncx q[0];",
+		"OPENQASM 2.0;\nqreg q[2];\nh r[0];",
+		"OPENQASM 2.0;\nqreg q[2];\nh q[-1];",
+	}
+	for _, in := range cases {
+		if _, err := ParseQASM(bytes.NewReader([]byte(in))); err == nil {
+			t.Errorf("accepted malformed input %q", in)
+		}
+	}
+}
+
+func TestParseQASMRoundTripCompiled(t *testing.T) {
+	c := emitterSeed()
+	parsed, err := ParseQASM(bytes.NewReader(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The seed circuit decomposes to 2+2+3+3 CX plus rotations on 4 qubits.
+	if parsed.NQubits != 4 {
+		t.Fatalf("parsed %d qubits", parsed.NQubits)
+	}
+	if parsed.GateCount()[GateCNOT] != 10 {
+		t.Fatalf("parsed %d CX", parsed.GateCount()[GateCNOT])
+	}
+	var re bytes.Buffer
+	if err := parsed.WriteQASM(&re); err != nil {
+		t.Fatal(err)
+	}
+	if re.String() != string(c) {
+		t.Fatalf("compiled-circuit QASM did not round trip:\n%s\nvs\n%s", c, re.String())
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"github.com/ata-pattern/ataqc/internal/greedy"
 	"github.com/ata-pattern/ataqc/internal/noise"
 	"github.com/ata-pattern/ataqc/internal/swapnet"
+	"github.com/ata-pattern/ataqc/internal/verify"
 )
 
 // Options configures the hybrid compiler.
@@ -47,6 +48,11 @@ type Options struct {
 	Mode Mode
 	// InitialMapping overrides the default compact placement.
 	InitialMapping []int
+	// Verify additionally runs the warning-severity lint analyzers
+	// (internal/verify) and records every diagnostic on the Result. The
+	// error-severity analyzers always run: Compile refuses to return a
+	// circuit that fails them.
+	Verify bool
 }
 
 // Mode selects between the full hybrid framework and its ablations.
@@ -89,10 +95,16 @@ type Metrics struct {
 type Result struct {
 	Circuit *circuit.Circuit
 	Initial []int
+	// Final is the final logical-to-physical mapping the compiler claims;
+	// the perm-soundness analyzer refolds the SWAPs to confirm it.
+	Final []int
 	// Source describes which candidate won: "greedy", "ata", or
 	// "hybrid@<prefix>" for a greedy-prefix + ATA-suffix circuit.
 	Source  string
 	Metrics Metrics
+	// Diagnostics holds the full analyzer output (including warnings such
+	// as dead-swap lints) when Options.Verify was set.
+	Diagnostics []verify.Diagnostic
 }
 
 // Compile schedules every edge of problem onto a.
@@ -138,10 +150,31 @@ func Compile(a *arch.Arch, problem *graph.Graph, opts Options) (*Result, error) 
 	if err != nil {
 		return nil, err
 	}
-	if vErr := circuit.Validate(res.Circuit, a, problem, res.Initial); vErr != nil {
+	res.Metrics = Measure(res.Circuit, opts.Noise)
+	// Static verification (internal/verify): the error-severity analyzers
+	// are the compiler's output contract — a circuit that fails them is a
+	// compiler bug and must not escape. Options.Verify widens the pass to
+	// the warning lints and records everything on the Result.
+	pass := &verify.Pass{
+		Circuit:       res.Circuit,
+		Arch:          a,
+		Problem:       problem,
+		Initial:       res.Initial,
+		Final:         res.Final,
+		ReportedDepth: res.Metrics.Depth,
+		CheckDepth:    true,
+	}
+	analyzers := verify.Strict
+	if opts.Verify {
+		analyzers = verify.All
+	}
+	diags := verify.Run(pass, analyzers...)
+	if opts.Verify {
+		res.Diagnostics = diags
+	}
+	if vErr := verify.AsError(diags); vErr != nil {
 		return nil, fmt.Errorf("core: produced invalid circuit: %w", vErr)
 	}
-	res.Metrics = Measure(res.Circuit, opts.Noise)
 	res.Metrics.CompileTime = time.Since(start)
 	return res, nil
 }
@@ -171,7 +204,7 @@ func compileGreedy(a *arch.Arch, problem *graph.Graph, initial []int, opts Optio
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Circuit: g.Circuit, Initial: g.Initial, Source: "greedy"}, nil
+	return &Result{Circuit: g.Circuit, Initial: g.Initial, Final: g.Final, Source: "greedy"}, nil
 }
 
 func compileATA(a *arch.Arch, problem *graph.Graph, initial []int, opts Options) (*Result, error) {
@@ -180,7 +213,7 @@ func compileATA(a *arch.Arch, problem *graph.Graph, initial []int, opts Options)
 	if err := runATARegions(st, b, opts.Angle); err != nil {
 		return nil, err
 	}
-	return &Result{Circuit: b.C, Initial: b.InitialMapping(), Source: "ata"}, nil
+	return &Result{Circuit: b.C, Initial: b.InitialMapping(), Final: b.CurrentMapping(), Source: "ata"}, nil
 }
 
 // runATARegions detects the interaction regions of the remaining problem

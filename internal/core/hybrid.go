@@ -99,7 +99,7 @@ func compileHybrid(a *arch.Arch, problem *graph.Graph, initial []int, opts Optio
 	}
 
 	if best == nil {
-		return &Result{Circuit: g.Circuit, Initial: g.Initial, Source: "greedy"}, nil
+		return &Result{Circuit: g.Circuit, Initial: g.Initial, Final: g.Final, Source: "greedy"}, nil
 	}
 
 	// --- Materialise the winning greedy-prefix + ATA-suffix circuit. ---
@@ -110,6 +110,10 @@ func compileHybrid(a *arch.Arch, problem *graph.Graph, initial []int, opts Optio
 			b.ZZ(gt.Q0, gt.Q1, gt.Angle, gt.Tag)
 		case circuit.GateSwap:
 			b.Swap(gt.Q0, gt.Q1)
+		case circuit.GateZZSwap:
+			// Must go through the builder so its mapping stays in lockstep
+			// — a raw Append would leave the claimed final mapping stale.
+			b.ZZSwap(gt.Q0, gt.Q1, gt.Angle, gt.Tag)
 		default:
 			b.C.Append(gt)
 		}
@@ -123,7 +127,7 @@ func compileHybrid(a *arch.Arch, problem *graph.Graph, initial []int, opts Optio
 	if best.cp.prefixLen > 0 {
 		source = "hybrid"
 	}
-	return &Result{Circuit: b.C, Initial: b.InitialMapping(), Source: source}, nil
+	return &Result{Circuit: b.C, Initial: b.InitialMapping(), Final: b.CurrentMapping(), Source: source}, nil
 }
 
 // remainingAfterPrefix returns the problem edges not scheduled within the

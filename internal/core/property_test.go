@@ -9,11 +9,13 @@ import (
 	"github.com/ata-pattern/ataqc/internal/circuit"
 	"github.com/ata-pattern/ataqc/internal/graph"
 	"github.com/ata-pattern/ataqc/internal/noise"
+	"github.com/ata-pattern/ataqc/internal/verify"
 )
 
 // TestCompilePropertyAllModesValid: random architecture/problem/mode
-// combinations always produce circuits that pass end-to-end validation
-// (Compile itself validates, so this asserts no error and sane metrics).
+// combinations always produce circuits that pass end-to-end verification
+// (Compile itself runs the strict analyzers, so this asserts no error,
+// sane metrics, and no error-severity lint with the full analyzer set on).
 func TestCompilePropertyAllModesValid(t *testing.T) {
 	builders := []func(int) *arch.Arch{
 		func(n int) *arch.Arch { return arch.GridN(n) },
@@ -27,10 +29,16 @@ func TestCompilePropertyAllModesValid(t *testing.T) {
 		a := builders[rng.Intn(len(builders))](n)
 		p := graph.GnpConnected(n, 0.15+0.6*rng.Float64(), rng)
 		mode := Mode(rng.Intn(3))
-		res, err := Compile(a, p, Options{Mode: mode})
+		res, err := Compile(a, p, Options{Mode: mode, Verify: true})
 		if err != nil {
 			t.Logf("seed %d (%s, %v): %v", seed, a.Name, mode, err)
 			return false
+		}
+		for _, d := range res.Diagnostics {
+			if d.Severity == verify.SeverityError {
+				t.Logf("seed %d (%s, %v): %v", seed, a.Name, mode, d)
+				return false
+			}
 		}
 		return res.Metrics.ProgramGates == p.M() && res.Metrics.Depth > 0
 	}

@@ -47,6 +47,7 @@ type Options struct {
 type Result struct {
 	Circuit *circuit.Circuit
 	Initial []int // initial logical-to-physical mapping
+	Final   []int // final logical-to-physical mapping after all SWAPs
 	Cycles  int   // scheduler cycles consumed
 }
 
@@ -241,7 +242,7 @@ func Compile(a *arch.Arch, problem *graph.Graph, initial []int, opts Options) (*
 			opts.Checkpoint(len(b.C.Gates), l2p, cycle)
 		}
 	}
-	return &Result{Circuit: b.C, Initial: b.InitialMapping(), Cycles: cycle}, nil
+	return &Result{Circuit: b.C, Initial: b.InitialMapping(), Final: b.CurrentMapping(), Cycles: cycle}, nil
 }
 
 // pairSet is a bitset over unordered logical-qubit pairs — the remaining

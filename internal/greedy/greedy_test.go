@@ -8,6 +8,7 @@ import (
 	"github.com/ata-pattern/ataqc/internal/circuit"
 	"github.com/ata-pattern/ataqc/internal/graph"
 	"github.com/ata-pattern/ataqc/internal/noise"
+	"github.com/ata-pattern/ataqc/internal/verify"
 )
 
 func compileChecked(t *testing.T, a *arch.Arch, p *graph.Graph, opts Options) *Result {
@@ -17,7 +18,8 @@ func compileChecked(t *testing.T, a *arch.Arch, p *graph.Graph, opts Options) *R
 	if err != nil {
 		t.Fatalf("%s: %v", a.Name, err)
 	}
-	if err := circuit.Validate(res.Circuit, a, p, res.Initial); err != nil {
+	pass := &verify.Pass{Circuit: res.Circuit, Arch: a, Problem: p, Initial: res.Initial, Final: res.Final}
+	if err := verify.Check(pass, verify.Strict...); err != nil {
 		t.Fatalf("%s: invalid circuit: %v", a.Name, err)
 	}
 	return res
@@ -71,7 +73,8 @@ func TestCompileSparseUsesFewSwaps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := circuit.Validate(res.Circuit, a, p, res.Initial); err != nil {
+	pass := &verify.Pass{Circuit: res.Circuit, Arch: a, Problem: p, Initial: res.Initial, Final: res.Final}
+	if err := verify.Check(pass, verify.Strict...); err != nil {
 		t.Fatal(err)
 	}
 	if res.Circuit.GateCount()[circuit.GateSwap] != 0 {

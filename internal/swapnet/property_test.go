@@ -6,7 +6,9 @@ import (
 	"testing/quick"
 
 	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/circuit"
 	"github.com/ata-pattern/ataqc/internal/graph"
+	"github.com/ata-pattern/ataqc/internal/verify"
 )
 
 // randomMapping places n logical qubits on distinct random physical qubits.
@@ -17,7 +19,10 @@ func randomMapping(rng *rand.Rand, nLogical, nPhys int) []int {
 
 // TestATAPropertyRandomMappings: for random architectures, problem graphs
 // and initial mappings, ATA always drains the want set and every emitted
-// operation is legal (validated by the shadow replay in runCheckedFrom).
+// operation is legal. Gate legality (coupling, tags, coverage, mapping
+// bookkeeping) is checked by the shared verify analyzers over the recorded
+// circuit; only the per-step parallelism invariant — no qubit touched twice
+// in one cycle — is swapnet-specific and stays here.
 func TestATAPropertyRandomMappings(t *testing.T) {
 	archs := []func() *arch.Arch{
 		func() *arch.Arch { return arch.Line(10) },
@@ -34,40 +39,40 @@ func TestATAPropertyRandomMappings(t *testing.T) {
 		initial := randomMapping(rng, nLogical, a.N())
 		st := NewState(a, nLogical, initial, p)
 		ok := true
-		shadow := make([]int, a.N())
-		for i := range shadow {
-			shadow[i] = -1
-		}
-		for l, ph := range initial {
-			shadow[ph] = l
-		}
+		c := circuit.New(a.N())
 		emit := func(s Step) {
 			used := map[int]bool{}
 			for _, g := range s.Compute {
-				if !a.G.HasEdge(g.P, g.Q) || used[g.P] || used[g.Q] {
+				if used[g.P] || used[g.Q] {
 					ok = false
 				}
 				used[g.P], used[g.Q] = true, true
-				lu, lv := shadow[g.P], shadow[g.Q]
-				if lu < 0 || lv < 0 || graph.NewEdge(lu, lv) != g.Tag {
-					ok = false
-				}
 				if g.Fused {
-					shadow[g.P], shadow[g.Q] = shadow[g.Q], shadow[g.P]
+					c.Gates = append(c.Gates, circuit.Gate{Kind: circuit.GateZZSwap, Q0: g.P, Q1: g.Q, Angle: 1, Tag: g.Tag, Tagged: true})
+				} else {
+					c.Gates = append(c.Gates, circuit.NewZZ(g.P, g.Q, 1, g.Tag))
 				}
 			}
 			for _, layer := range s.Swaps {
 				lu := map[int]bool{}
 				for _, e := range layer {
-					if !a.G.HasEdge(e.U, e.V) || lu[e.U] || lu[e.V] {
+					if lu[e.U] || lu[e.V] {
 						ok = false
 					}
 					lu[e.U], lu[e.V] = true, true
-					shadow[e.U], shadow[e.V] = shadow[e.V], shadow[e.U]
+					c.Gates = append(c.Gates, circuit.NewSwap(e.U, e.V))
 				}
 			}
 		}
 		if err := ATA(st, arch.FullRegion(a), emit); err != nil {
+			return false
+		}
+		// st.L2P is swapnet's own final-mapping claim; perm-soundness refolds
+		// the emitted SWAPs and cross-checks it.
+		pass := &verify.Pass{Circuit: c, Arch: a, Problem: p, Initial: initial,
+			Final: append([]int(nil), st.L2P...)}
+		if diags := verify.Run(pass, verify.ArchConformance, verify.PermSoundness, verify.Coverage); len(diags) > 0 {
+			t.Logf("seed %d: %v", seed, diags)
 			return false
 		}
 		return ok && st.Want.Empty()

@@ -1,0 +1,147 @@
+// Package verify is a static circuit-correctness analyzer: it walks a
+// compiled circuit.Circuit without simulating it and reports structured
+// diagnostics, modeled on go/analysis. Each Analyzer encodes one invariant
+// the compiler must preserve — the §4 admissibility conditions (2q gates on
+// coupled qubits, one gate per interaction term) and the §5–6 hybrid
+// guarantee bookkeeping (SWAP-folded permutation soundness, depth
+// consistency) — plus optimization lints such as dead-SWAP detection.
+//
+// The pass is pure inspection: analyzers never mutate the circuit and a
+// clean run proves nothing about angles or unitaries, only about structure.
+// The hybrid compiler (internal/core) runs the error-severity analyzers on
+// every output; the baselines and benchmarks run the same pass, and
+// cmd/ataqc-lint exposes it to CI over QASM or edge-list inputs.
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/circuit"
+	"github.com/ata-pattern/ataqc/internal/graph"
+)
+
+// Severity classifies a diagnostic. Errors are correctness violations — the
+// circuit does not implement the program; warnings are optimization lints.
+type Severity int
+
+const (
+	SeverityError Severity = iota
+	SeverityWarning
+)
+
+func (s Severity) String() string {
+	if s == SeverityWarning {
+		return "warning"
+	}
+	return "error"
+}
+
+// Diagnostic is one analyzer finding. Gate is the machine-readable
+// position: an index into Pass.Circuit.Gates, or -1 for circuit-level
+// findings (e.g. a problem edge that was never scheduled).
+type Diagnostic struct {
+	Analyzer string
+	Severity Severity
+	Gate     int
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	if d.Gate >= 0 {
+		return fmt.Sprintf("%s: %s: gate %d: %s", d.Severity, d.Analyzer, d.Gate, d.Message)
+	}
+	return fmt.Sprintf("%s: %s: %s", d.Severity, d.Analyzer, d.Message)
+}
+
+// Pass is the unit of analysis: one compiled circuit plus the compilation
+// context the analyzers check it against. Circuit is required; every other
+// field widens the set of invariants that can be checked (analyzers skip
+// silently when their inputs are absent).
+type Pass struct {
+	// Circuit is the compiled circuit under analysis.
+	Circuit *circuit.Circuit
+	// Arch is the target architecture; enables coupling-graph conformance.
+	Arch *arch.Arch
+	// Problem is the input interaction graph; enables coverage analysis.
+	Problem *graph.Graph
+	// Initial is the logical-to-physical mapping at circuit start. Required
+	// by coverage and perm-soundness.
+	Initial []int
+	// Final, when non-nil, is the final mapping the compiler claims;
+	// perm-soundness refolds the SWAPs and compares.
+	Final []int
+	// ReportedDepth is the decomposed ASAP depth the scheduler reports;
+	// checked by depth-consistency only when CheckDepth is set (a zero
+	// depth is legitimate for empty circuits, so presence needs a flag).
+	ReportedDepth int
+	CheckDepth    bool
+}
+
+// Analyzer is one named static check, go/analysis style.
+type Analyzer struct {
+	// Name is the analyzer's stable kebab-case identifier.
+	Name string
+	// Doc is a one-paragraph description of the invariant checked and where
+	// it comes from in the paper.
+	Doc string
+	// Severity is the severity of every diagnostic this analyzer reports.
+	Severity Severity
+	// Run inspects the pass and returns findings (nil when clean).
+	Run func(p *Pass) []Diagnostic
+}
+
+// All lists every registered analyzer, errors first.
+var All = []*Analyzer{ArchConformance, PermSoundness, Coverage, DepthConsistency, DeadSwap}
+
+// Strict lists the error-severity analyzers — the set a compiler output
+// must pass for the compilation to be considered correct.
+var Strict = []*Analyzer{ArchConformance, PermSoundness, Coverage, DepthConsistency}
+
+// Run executes the analyzers against the pass and returns their combined
+// diagnostics, ordered by gate position (circuit-level findings last).
+func Run(p *Pass, analyzers ...*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		out = append(out, a.Run(p)...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		gi, gj := out[i].Gate, out[j].Gate
+		if gi < 0 {
+			gi = int(^uint(0) >> 1)
+		}
+		if gj < 0 {
+			gj = int(^uint(0) >> 1)
+		}
+		return gi < gj
+	})
+	return out
+}
+
+// Check runs the analyzers and converts error-severity findings into a
+// single error (nil when the circuit is clean or has only warnings).
+func Check(p *Pass, analyzers ...*Analyzer) error {
+	return AsError(Run(p, analyzers...))
+}
+
+// AsError folds the error-severity diagnostics of a run into one error,
+// or nil if none. Warnings never produce an error.
+func AsError(diags []Diagnostic) error {
+	var errs []string
+	for _, d := range diags {
+		if d.Severity == SeverityError {
+			errs = append(errs, d.String())
+		}
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("verify: %d violation(s):\n  %s", len(errs), strings.Join(errs, "\n  "))
+}
+
+// report is a small helper for analyzer implementations.
+func report(a *Analyzer, gate int, format string, args ...any) Diagnostic {
+	return Diagnostic{Analyzer: a.Name, Severity: a.Severity, Gate: gate, Message: fmt.Sprintf(format, args...)}
+}
