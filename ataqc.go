@@ -19,6 +19,7 @@ package ataqc
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -26,6 +27,7 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/ata-pattern/ataqc/internal/arch"
 	"github.com/ata-pattern/ataqc/internal/baseline"
@@ -127,9 +129,16 @@ func RandomProblem(n int, density float64, seed int64) *Problem {
 	return &Problem{g: graph.GnpConnected(n, density, rng)}
 }
 
+// MaxProblemQubits caps the vertex ids ParseProblem accepts: the problem
+// spans vertices 0..max(id), so a single adversarial line ("0 1000000000")
+// would otherwise allocate a billion-vertex graph before any compile
+// sanity check runs.
+const MaxProblemQubits = 1 << 20
+
 // ParseProblem reads an interaction graph from an edge-list stream: one
 // "u v" pair per line (0-based vertex ids); blank lines and lines starting
-// with '#' are ignored. The problem spans vertices 0..max(id).
+// with '#' are ignored. The problem spans vertices 0..max(id), capped at
+// MaxProblemQubits.
 func ParseProblem(r io.Reader) (*Problem, error) {
 	var edges [][2]int
 	maxV := -1
@@ -147,6 +156,9 @@ func ParseProblem(r io.Reader) (*Problem, error) {
 		}
 		if u < 0 || v < 0 || u == v {
 			return nil, fmt.Errorf("ataqc: line %d: invalid edge (%d,%d)", line, u, v)
+		}
+		if u >= MaxProblemQubits || v >= MaxProblemQubits {
+			return nil, fmt.Errorf("ataqc: line %d: vertex id exceeds the %d-qubit limit", line, MaxProblemQubits)
 		}
 		edges = append(edges, [2]int{u, v})
 		if u > maxV {
@@ -227,21 +239,45 @@ type Options struct {
 	Alpha float64
 	// Angle is recorded on every program gate (default 1).
 	Angle float64
+	// Deadline is a wall-clock budget for the compilation (0 = unbounded).
+	// When it expires mid-compile under the hybrid/greedy/ata strategies,
+	// the compiler degrades to the structured ATA solution instead of
+	// failing (Theorem 6.1's linear-depth floor); Result.Degraded reports
+	// it. Baseline strategies (2qan, qaim, paulihedral) are not governed.
+	Deadline time.Duration
+	// MaxNodes is a deterministic work budget (0 = unbounded): greedy
+	// scheduler cycles plus predicted ATA pattern cycles. Exhaustion
+	// degrades exactly like a deadline.
+	MaxNodes int
 }
 
 // Result is a compiled circuit with its measurements.
 type Result struct {
-	dev      *Device
-	problem  *Problem
-	circuit  *circuit.Circuit
-	initial  []int
-	final    []int
-	metrics  core.Metrics
-	strategy Strategy
+	dev           *Device
+	problem       *Problem
+	circuit       *circuit.Circuit
+	initial       []int
+	final         []int
+	metrics       core.Metrics
+	strategy      Strategy
+	degraded      bool
+	degradeReason string
 }
 
 // Compile schedules every interaction of the problem onto the device.
 func Compile(dev *Device, p *Problem, opts Options) (*Result, error) {
+	return CompileContext(context.Background(), dev, p, opts)
+}
+
+// CompileContext is Compile under resource governance: it honors the
+// context's cancellation and deadline plus Options.Deadline/MaxNodes. When
+// a budget runs out mid-compile the compiler degrades gracefully — the
+// output falls back toward the structured all-to-all solution, which is
+// deterministic, linear-depth (Theorem 6.1), and always constructible —
+// and Result.Degraded reports what happened. Explicit cancellation aborts
+// with the context's error instead. Internal compiler panics are converted
+// into errors at this boundary; they never unwind into the caller.
+func CompileContext(ctx context.Context, dev *Device, p *Problem, opts Options) (*Result, error) {
 	if p.Qubits() > dev.Qubits() {
 		return nil, fmt.Errorf("ataqc: problem needs %d qubits but device %s has %d",
 			p.Qubits(), dev.Name(), dev.Qubits())
@@ -267,17 +303,20 @@ func Compile(dev *Device, p *Problem, opts Options) (*Result, error) {
 		if strategy == StrategyATA {
 			mode = core.ModeATA
 		}
-		r, err := core.Compile(dev.arch, p.g, core.Options{
+		r, err := core.CompileContext(ctx, dev.arch, p.g, core.Options{
 			Mode:           mode,
 			Noise:          nm,
 			CrosstalkAware: opts.CrosstalkAware,
 			Alpha:          opts.Alpha,
 			Angle:          opts.Angle,
+			Deadline:       opts.Deadline,
+			MaxNodes:       opts.MaxNodes,
 		})
 		if err != nil {
 			return nil, err
 		}
 		res.circuit, res.initial, res.final, res.metrics = r.Circuit, r.Initial, r.Final, r.Metrics
+		res.degraded, res.degradeReason = r.Degraded, r.DegradeReason
 	case Strategy2QAN, StrategyQAIM, StrategyPaulihedral:
 		var (
 			b   *baseline.Result
@@ -301,6 +340,17 @@ func Compile(dev *Device, p *Problem, opts Options) (*Result, error) {
 	}
 	return res, nil
 }
+
+// Degraded reports that a resource budget (context deadline,
+// Options.Deadline, or Options.MaxNodes) ran out mid-compile and the
+// compiler fell back toward the structured ATA solution. The circuit is
+// complete and passes every error-severity verifier analyzer; it is just
+// not the candidate an unbounded search would have picked.
+func (r *Result) Degraded() bool { return r.degraded }
+
+// DegradeReason describes which budget ran out and which fallback rung
+// produced the circuit ("" when not degraded).
+func (r *Result) DegradeReason() string { return r.degradeReason }
 
 // Depth returns the compiled circuit's critical-path length after
 // decomposition into CX and single-qubit gates.
@@ -472,8 +522,15 @@ func TVD(p, q []float64) float64 { return sim.TVD(p, q) }
 // interactions). maxNodes bounds the search (0 = 4M node expansions);
 // ErrSolverBudget is returned when it is exhausted.
 func OptimalDepth(dev *Device, p *Problem, maxNodes int) (int, error) {
-	res, err := solver.Solve(dev.arch, p.g, nil, solver.Options{MaxNodes: maxNodes})
-	if err == solver.ErrSearchExhausted {
+	return OptimalDepthContext(context.Background(), dev, p, maxNodes)
+}
+
+// OptimalDepthContext is OptimalDepth honoring a context: the A* expansion
+// loop polls the context every ~1k node expansions, so cancellation or a
+// deadline abandons the search promptly with the context's error.
+func OptimalDepthContext(ctx context.Context, dev *Device, p *Problem, maxNodes int) (int, error) {
+	res, err := solver.SolveContext(ctx, dev.arch, p.g, nil, solver.Options{MaxNodes: maxNodes})
+	if errors.Is(err, solver.ErrSearchExhausted) {
 		return 0, ErrSolverBudget
 	}
 	if err != nil {

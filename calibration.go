@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"github.com/ata-pattern/ataqc/internal/arch"
 	"github.com/ata-pattern/ataqc/internal/graph"
@@ -61,37 +62,68 @@ func ParseCalibration(r io.Reader) (*Calibration, error) {
 	return &c, nil
 }
 
+// validRate reports whether v is a usable error probability. The explicit
+// NaN guard matters: NaN compares false to everything, so a bare
+// `v < 0 || v >= 1` range check silently accepts it.
+func validRate(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0 && v < 1
+}
+
 // WithCalibration attaches a measured calibration to the device, replacing
 // any synthetic one. Couplings missing from the calibration get the median
-// of the provided two-qubit errors.
+// of the provided two-qubit errors; a coupling calibrated to exactly zero
+// error stays zero (presence is tracked, not inferred from the value).
+// Every rate — two-qubit, single-qubit, readout, idle — must be a finite
+// probability in [0,1); anything else (NaN, Inf, negative, >= 1) is
+// rejected with an error, as are entries naming non-couplings,
+// out-of-range qubits, and duplicate couplings.
 func (d *Device) WithCalibration(c *Calibration) (*Device, error) {
 	m := noise.Ideal(d.arch)
 	var vals []float64
+	present := make(map[graph.Edge]bool, len(c.TwoQubit))
 	for _, ce := range c.TwoQubit {
-		if !d.arch.G.HasEdge(ce.Q0, ce.Q1) {
+		if ce.Q0 < 0 || ce.Q0 >= d.arch.N() || ce.Q1 < 0 || ce.Q1 >= d.arch.N() || !d.arch.G.HasEdge(ce.Q0, ce.Q1) {
 			return nil, fmt.Errorf("ataqc: calibration names non-coupling (%d,%d)", ce.Q0, ce.Q1)
 		}
-		if ce.Error < 0 || ce.Error >= 1 {
-			return nil, fmt.Errorf("ataqc: error rate %v out of [0,1) on (%d,%d)", ce.Error, ce.Q0, ce.Q1)
+		if !validRate(ce.Error) {
+			return nil, fmt.Errorf("ataqc: two-qubit error rate %v on (%d,%d) is not a probability in [0,1)", ce.Error, ce.Q0, ce.Q1)
 		}
-		m.TwoQubit[graph.NewEdge(ce.Q0, ce.Q1)] = ce.Error
+		e := graph.NewEdge(ce.Q0, ce.Q1)
+		if present[e] {
+			return nil, fmt.Errorf("ataqc: calibration lists coupling (%d,%d) twice", ce.Q0, ce.Q1)
+		}
+		present[e] = true
+		m.TwoQubit[e] = ce.Error
 		vals = append(vals, ce.Error)
 	}
 	med := median(vals)
 	for _, e := range d.arch.G.Edges() {
-		if m.TwoQubit[e] == 0 && med > 0 {
+		if !present[e] {
 			m.TwoQubit[e] = med
 		}
 	}
+	if len(c.SingleQubit) > d.arch.N() {
+		return nil, fmt.Errorf("ataqc: calibration lists %d single-qubit entries but %s has %d qubits",
+			len(c.SingleQubit), d.arch.Name, d.arch.N())
+	}
 	for q, v := range c.SingleQubit {
-		if q < d.arch.N() {
-			m.SingleQubit[q] = v
+		if !validRate(v) {
+			return nil, fmt.Errorf("ataqc: single-qubit error rate %v on qubit %d is not a probability in [0,1)", v, q)
 		}
+		m.SingleQubit[q] = v
+	}
+	if len(c.Readout) > d.arch.N() {
+		return nil, fmt.Errorf("ataqc: calibration lists %d readout entries but %s has %d qubits",
+			len(c.Readout), d.arch.Name, d.arch.N())
 	}
 	for q, v := range c.Readout {
-		if q < d.arch.N() {
-			m.Readout[q] = v
+		if !validRate(v) {
+			return nil, fmt.Errorf("ataqc: readout error rate %v on qubit %d is not a probability in [0,1)", v, q)
 		}
+		m.Readout[q] = v
+	}
+	if !validRate(c.IdlePerCycle) {
+		return nil, fmt.Errorf("ataqc: idle-per-cycle rate %v is not a probability in [0,1)", c.IdlePerCycle)
 	}
 	m.IdlePerCycle = c.IdlePerCycle
 	m.CrosstalkFactor = 1.5

@@ -1,6 +1,7 @@
 package ataqc
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -74,6 +75,73 @@ func TestCalibrationValidation(t *testing.T) {
 		TwoQubit: []CouplingError{{Q0: 0, Q1: 1, Error: 1.5}},
 	}); err == nil {
 		t.Fatal("error rate > 1 accepted")
+	}
+	// NaN compares false against any range check, so it needs an explicit
+	// rejection; same for Inf and negatives.
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -0.01} {
+		if _, err := dev.WithCalibration(&Calibration{
+			TwoQubit: []CouplingError{{Q0: 0, Q1: 1, Error: bad}},
+		}); err == nil {
+			t.Fatalf("two-qubit error rate %v accepted", bad)
+		}
+	}
+	if _, err := dev.WithCalibration(&Calibration{
+		TwoQubit: []CouplingError{{Q0: -1, Q1: 1, Error: 0.1}},
+	}); err == nil {
+		t.Fatal("negative qubit id accepted")
+	}
+	if _, err := dev.WithCalibration(&Calibration{
+		TwoQubit: []CouplingError{
+			{Q0: 0, Q1: 1, Error: 0.1},
+			{Q0: 1, Q1: 0, Error: 0.2},
+		},
+	}); err == nil {
+		t.Fatal("duplicate coupling accepted")
+	}
+	if _, err := dev.WithCalibration(&Calibration{
+		SingleQubit: []float64{0.1, math.NaN(), 0.1},
+	}); err == nil {
+		t.Fatal("NaN single-qubit rate accepted")
+	}
+	if _, err := dev.WithCalibration(&Calibration{
+		SingleQubit: []float64{0.1, 0.1, 0.1, 0.1},
+	}); err == nil {
+		t.Fatal("oversized single-qubit list accepted")
+	}
+	if _, err := dev.WithCalibration(&Calibration{
+		Readout: []float64{0.1, 1.0},
+	}); err == nil {
+		t.Fatal("readout rate of 1 accepted")
+	}
+	if _, err := dev.WithCalibration(&Calibration{
+		IdlePerCycle: math.Inf(1),
+	}); err == nil {
+		t.Fatal("infinite idle-per-cycle rate accepted")
+	}
+}
+
+func TestCalibrationZeroErrorStaysZero(t *testing.T) {
+	// A coupling calibrated to exactly zero error must not be overwritten
+	// by the median backfill: presence is tracked, not inferred from the
+	// stored value.
+	dev := LineDevice(3) // couplings (0,1),(1,2)
+	cal := &Calibration{TwoQubit: []CouplingError{
+		{Q0: 0, Q1: 1, Error: 0},
+		{Q0: 1, Q1: 2, Error: 0.2},
+	}}
+	if _, err := dev.WithCalibration(cal); err != nil {
+		t.Fatal(err)
+	}
+	prob := NewProblem(3)
+	prob.AddInteraction(0, 1)
+	res, err := Compile(dev, prob, Options{NoiseAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single interaction runs on the zero-error coupling; with no
+	// single-qubit, readout, or idle noise configured the estimate is 1.
+	if f := res.EstimatedFidelity(); f != 1 {
+		t.Fatalf("zero-error coupling was backfilled: fidelity %v", f)
 	}
 }
 

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,6 +37,7 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit the result as JSON")
 		showArch = flag.Bool("show-arch", false, "print an ASCII picture of the device and exit")
 		showSch  = flag.Bool("schedule", false, "print the compiled schedule cycle by cycle")
+		timeout  = flag.Duration("timeout", 0, "wall-clock compile budget, e.g. 30s (0 = unbounded); on expiry the compiler degrades to the linear-depth ATA fallback")
 	)
 	flag.Parse()
 
@@ -96,12 +98,21 @@ func main() {
 		return
 	}
 
-	res, err := ataqc.Compile(dev, prob, ataqc.Options{
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := ataqc.CompileContext(ctx, dev, prob, ataqc.Options{
 		Strategy:   ataqc.Strategy(*strategy),
 		NoiseAware: *noisy,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if res.Degraded() {
+		fmt.Fprintf(os.Stderr, "note: compile budget ran out; degraded to the structured ATA fallback (%s)\n", res.DegradeReason())
 	}
 
 	if *asJSON {
@@ -116,6 +127,10 @@ func main() {
 			"swaps":        res.SwapCount(),
 			"initial":      res.InitialMapping(),
 			"final":        res.FinalMapping(),
+		}
+		if res.Degraded() {
+			out["degraded"] = true
+			out["degradeReason"] = res.DegradeReason()
 		}
 		if *noisy {
 			out["estimatedFidelity"] = res.EstimatedFidelity()

@@ -22,11 +22,12 @@ import (
 
 func main() {
 	var (
-		quick  = flag.Bool("quick", false, "run reduced sizes (fast)")
-		exps   = flag.String("exp", "all", "comma-separated experiment ids: fig17,fig20,fig22,table1,table2,table3,table4,tvd,fig24,fig25,fig26")
-		out    = flag.String("out", "", "write markdown to this file instead of stdout")
-		trials = flag.Int("trials", 0, "graphs per cell (default: 10 full / 3 quick)")
-		seed   = flag.Int64("seed", 1, "workload seed")
+		quick   = flag.Bool("quick", false, "run reduced sizes (fast)")
+		exps    = flag.String("exp", "all", "comma-separated experiment ids: fig17,fig20,fig22,table1,table2,table3,table4,tvd,fig24,fig25,fig26")
+		out     = flag.String("out", "", "write markdown to this file instead of stdout")
+		trials  = flag.Int("trials", 0, "graphs per cell (default: 10 full / 3 quick)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		timeout = flag.Duration("timeout", 0, "per-compile wall-clock budget, e.g. 2m (0 = unbounded); expired compiles degrade to the linear-depth ATA fallback instead of failing the run")
 	)
 	flag.Parse()
 
@@ -37,6 +38,10 @@ func main() {
 	cfg.Seed = *seed
 	if *trials > 0 {
 		cfg.Trials = *trials
+	}
+	cfg.Deadline = *timeout
+	if *timeout > 0 {
+		fmt.Fprintf(os.Stderr, "per-compile deadline %s: compiles that run out of budget degrade to the structured ATA solution instead of failing the run\n", *timeout)
 	}
 
 	var w io.Writer = os.Stdout

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +26,7 @@ func main() {
 		cols      = flag.Int("cols", 4, "line length / grid columns")
 		bipartite = flag.Bool("bipartite", false, "solve the 2xUnit bipartite sub-problem instead of the clique")
 		maxNodes  = flag.Int("maxnodes", 1<<22, "search node budget")
+		timeout   = flag.Duration("timeout", 0, "wall-clock search budget, e.g. 30s (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -63,7 +65,13 @@ func main() {
 		p = graph.Complete(n)
 	}
 
-	res, err := solver.Solve(a, p, nil, solver.Options{MaxNodes: *maxNodes})
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := solver.SolveContext(ctx, a, p, nil, solver.Options{MaxNodes: *maxNodes})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -31,7 +31,7 @@ func RunAblations(cfg Config) (*Report, error) {
 	// --- A1: unified gate+SWAP vs separate ops, grid clique. ---
 	a := arch.Grid(side, side)
 	clique := graph.Complete(a.N())
-	res, err := core.Compile(a, clique, core.Options{Mode: core.ModeATA})
+	res, err := core.Compile(a, clique, core.Options{Mode: core.ModeATA, Deadline: cfg.Deadline})
 	if err != nil {
 		return nil, err
 	}
@@ -84,6 +84,7 @@ func RunAblations(cfg Config) (*Report, error) {
 		{"no prediction (pure greedy)", core.Options{Mode: core.ModeGreedy, Noise: nm}},
 		{"no greedy (pure pattern)", core.Options{Mode: core.ModeATA}},
 	} {
+		variant.opts.Deadline = cfg.Deadline
 		vres, err := core.Compile(hh, p, variant.opts)
 		if err != nil {
 			return nil, err

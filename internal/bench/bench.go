@@ -68,14 +68,26 @@ type Stats struct {
 	Swaps   int
 	Seconds float64
 	LogFid  float64
+	// Degraded reports that at least one underlying compile ran out of its
+	// per-compile deadline and fell back to the structured ATA solution.
+	Degraded bool
 }
 
 // CompileWith compiles problem on a with the named method and measures it.
 func CompileWith(method string, a *arch.Arch, p *graph.Graph, nm *noise.Model) (Stats, error) {
+	return CompileWithDeadline(method, a, p, nm, 0)
+}
+
+// CompileWithDeadline is CompileWith under a per-compile wall-clock budget
+// (0 = unbounded). The governed methods (ours/greedy/solver) degrade to the
+// structured ATA fallback when the budget expires — Stats.Degraded reports
+// it; the baseline reimplementations are not governed and ignore it.
+func CompileWithDeadline(method string, a *arch.Arch, p *graph.Graph, nm *noise.Model, deadline time.Duration) (Stats, error) {
 	start := time.Now()
 	var (
-		m   core.Metrics
-		err error
+		m        core.Metrics
+		degraded bool
+		err      error
 	)
 	switch method {
 	case MethodOurs, MethodGreedy, MethodSolver:
@@ -87,9 +99,10 @@ func CompileWith(method string, a *arch.Arch, p *graph.Graph, nm *noise.Model) (
 			mode = core.ModeATA
 		}
 		var res *core.Result
-		res, err = core.Compile(a, p, core.Options{Mode: mode, Noise: nm})
+		res, err = core.Compile(a, p, core.Options{Mode: mode, Noise: nm, Deadline: deadline})
 		if err == nil {
 			m = res.Metrics
+			degraded = res.Degraded
 		}
 	case MethodQAIM, MethodPaulihedral, Method2QAN:
 		var res *baseline.Result
@@ -111,12 +124,13 @@ func CompileWith(method string, a *arch.Arch, p *graph.Graph, nm *noise.Model) (
 		return Stats{}, err
 	}
 	return Stats{
-		Method:  method,
-		Depth:   m.Depth,
-		CX:      m.CXCount,
-		Swaps:   m.Swaps,
-		Seconds: time.Since(start).Seconds(),
-		LogFid:  m.LogFidelity,
+		Method:   method,
+		Depth:    m.Depth,
+		CX:       m.CXCount,
+		Swaps:    m.Swaps,
+		Seconds:  time.Since(start).Seconds(),
+		LogFid:   m.LogFidelity,
+		Degraded: degraded,
 	}, nil
 }
 
@@ -178,9 +192,10 @@ func RegularWorkload(n int, density float64, trials int, seed int64) Workload {
 }
 
 // averageStats compiles every graph of a workload with a method and
-// averages the measurements. Trials run concurrently (they are independent
+// averages the measurements, honoring a per-compile deadline (0 =
+// unbounded). Trials run concurrently (they are independent
 // single-threaded compilations), bounded by GOMAXPROCS.
-func averageStats(method string, a *arch.Arch, w Workload, nm *noise.Model) (Stats, error) {
+func averageStats(method string, a *arch.Arch, w Workload, nm *noise.Model, deadline time.Duration) (Stats, error) {
 	// Force the lazy all-pairs distance cache before fanning out: the
 	// architecture is shared across goroutines and must be read-only.
 	a.Distances()
@@ -194,7 +209,7 @@ func averageStats(method string, a *arch.Arch, w Workload, nm *noise.Model) (Sta
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = CompileWith(method, a, g, nm)
+			results[i], errs[i] = CompileWithDeadline(method, a, g, nm, deadline)
 		}(i, g)
 	}
 	wg.Wait()
@@ -208,6 +223,7 @@ func averageStats(method string, a *arch.Arch, w Workload, nm *noise.Model) (Sta
 		acc.Swaps += results[i].Swaps
 		acc.Seconds += results[i].Seconds
 		acc.LogFid += results[i].LogFid
+		acc.Degraded = acc.Degraded || results[i].Degraded
 	}
 	k := len(w.Graphs)
 	acc.Method = method

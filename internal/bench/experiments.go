@@ -22,6 +22,11 @@ type Config struct {
 	Quick  bool
 	Trials int // graphs averaged per cell (paper: 10)
 	Seed   int64
+	// Deadline bounds each governed compile's wall clock (0 = unbounded).
+	// Expiry degrades that compile to the structured ATA fallback rather
+	// than failing the experiment; Stats.Degraded records it. The baseline
+	// reimplementations are not governed.
+	Deadline time.Duration
 }
 
 // DefaultConfig returns the full-scale configuration.
@@ -75,7 +80,7 @@ func RunFig17(cfg Config) (*Report, error) {
 				var depths, cxs []float64
 				var base Stats
 				for i, method := range []string{MethodGreedy, MethodSolver, MethodOurs} {
-					s, err := averageStats(method, a, w, nil)
+					s, err := averageStats(method, a, w, nil, cfg.Deadline)
 					if err != nil {
 						return nil, err
 					}
@@ -125,7 +130,7 @@ func RunDepthGate(cfg Config, family string) (*Report, error) {
 				row := []string{w.Name}
 				var dvals, cvals []string
 				for _, method := range []string{MethodOurs, MethodQAIM, MethodPaulihedral} {
-					s, err := averageStats(method, a, w, nil)
+					s, err := averageStats(method, a, w, nil, cfg.Deadline)
 					if err != nil {
 						return nil, err
 					}
@@ -163,17 +168,17 @@ func RunTable1(cfg Config) (*Report, error) {
 					return nil, err
 				}
 				w := RandomWorkload(n, density, cfg.trialsFor(n), cfg.Seed)
-				ours, err := averageStats(MethodOurs, a, w, nil)
+				ours, err := averageStats(MethodOurs, a, w, nil, cfg.Deadline)
 				if err != nil {
 					return nil, err
 				}
-				qaim, err := averageStats(MethodQAIM, a, w, nil)
+				qaim, err := averageStats(MethodQAIM, a, w, nil, cfg.Deadline)
 				if err != nil {
 					return nil, err
 				}
 				d2, c2 := "-", "-"
 				if n <= twoQANLimit {
-					tq, err := averageStats(Method2QAN, a, w, nil)
+					tq, err := averageStats(Method2QAN, a, w, nil, cfg.Deadline)
 					if err != nil {
 						return nil, err
 					}
@@ -224,11 +229,11 @@ func RunTable2(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		for _, w := range workloads {
-			ours, err := averageStats(MethodOurs, a, w, nil)
+			ours, err := averageStats(MethodOurs, a, w, nil, cfg.Deadline)
 			if err != nil {
 				return nil, err
 			}
-			pauli, err := averageStats(MethodPaulihedral, a, w, nil)
+			pauli, err := averageStats(MethodPaulihedral, a, w, nil, cfg.Deadline)
 			if err != nil {
 				return nil, err
 			}
@@ -268,7 +273,7 @@ func RunTable3(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		ours, err := CompileWith(MethodOurs, a, p, nil)
+		ours, err := CompileWithDeadline(MethodOurs, a, p, nil, cfg.Deadline)
 		if err != nil {
 			return nil, err
 		}
@@ -304,7 +309,7 @@ func RunTable4(cfg Config) (*Report, error) {
 		p := graph.GnpConnected(in.n, in.den, rng)
 		a := arch.GridN(in.n)
 		t0 := time.Now()
-		res, err := core.Compile(a, p, core.Options{Mode: core.ModeHybrid})
+		res, err := core.Compile(a, p, core.Options{Mode: core.ModeHybrid, Deadline: cfg.Deadline})
 		if err != nil {
 			return nil, err
 		}
@@ -357,7 +362,7 @@ func RunTVD(cfg Config) (*Report, error) {
 		p := graph.GnpConnected(n, 0.3, rng)
 		row := []string{fmt.Sprintf("rand-%d-0.3", n)}
 		for _, method := range []string{MethodOurs, Method2QAN} {
-			inst, err := compileInstance(method, a, p, nm)
+			inst, err := compileInstance(method, a, p, nm, cfg.Deadline)
 			if err != nil {
 				return nil, err
 			}
@@ -376,10 +381,10 @@ func RunTVD(cfg Config) (*Report, error) {
 	return r, nil
 }
 
-func compileInstance(method string, a *arch.Arch, p *graph.Graph, nm *noise.Model) (*qaoa.Instance, error) {
+func compileInstance(method string, a *arch.Arch, p *graph.Graph, nm *noise.Model, deadline time.Duration) (*qaoa.Instance, error) {
 	switch method {
 	case MethodOurs:
-		res, err := core.Compile(a, p, core.Options{Mode: core.ModeHybrid, Noise: nm, CrosstalkAware: true})
+		res, err := core.Compile(a, p, core.Options{Mode: core.ModeHybrid, Noise: nm, CrosstalkAware: true, Deadline: deadline})
 		if err != nil {
 			return nil, err
 		}
@@ -413,7 +418,7 @@ func RunConvergence(cfg Config, n int, rounds int) (*Report, error) {
 	p := graph.GnpConnected(n, 0.3, rng)
 	traces := make([][]float64, 2)
 	for i, method := range []string{MethodOurs, Method2QAN} {
-		inst, err := compileInstance(method, a, p, nm)
+		inst, err := compileInstance(method, a, p, nm, cfg.Deadline)
 		if err != nil {
 			return nil, err
 		}
@@ -461,7 +466,7 @@ func RunCompileTime(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		s, err := CompileWith(MethodOurs, a, p, nil)
+		s, err := CompileWithDeadline(MethodOurs, a, p, nil, cfg.Deadline)
 		if err != nil {
 			return nil, err
 		}

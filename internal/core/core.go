@@ -17,7 +17,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"time"
 
 	"github.com/ata-pattern/ataqc/internal/arch"
@@ -53,6 +55,17 @@ type Options struct {
 	// error-severity analyzers always run: Compile refuses to return a
 	// circuit that fails them.
 	Verify bool
+	// Deadline is a wall-clock budget for the whole compilation, measured
+	// from the CompileContext call (0 = unbounded). It combines with any
+	// context deadline: the earlier of the two wins. When it expires
+	// mid-compile the compiler degrades down the ladder (hybrid → best
+	// candidate so far → pure ATA) instead of failing; see Result.Degraded.
+	Deadline time.Duration
+	// MaxNodes is a work budget (0 = unbounded): greedy scheduler cycles
+	// plus predicted ATA pattern cycles. Exhaustion degrades exactly like a
+	// deadline. It is the deterministic twin of Deadline — useful in tests
+	// and anywhere wall-clock budgets would flake.
+	MaxNodes int
 }
 
 // Mode selects between the full hybrid framework and its ablations.
@@ -91,6 +104,21 @@ type Metrics struct {
 	CompileTime   time.Duration
 }
 
+// Stats records resource-governance observability for one compilation.
+type Stats struct {
+	// Elapsed is the wall-clock compile time.
+	Elapsed time.Duration
+	// WorkUnits is the governed work spent: greedy scheduler cycles plus
+	// predicted ATA pattern cycles — the currency Options.MaxNodes caps.
+	WorkUnits int64
+	// Checkpoints counts the selector candidates recorded (including the
+	// synthetic prefix-0 pure-ATA candidate); Predictions counts how many
+	// were evaluated before the budget intervened. Both are zero outside
+	// ModeHybrid.
+	Checkpoints int
+	Predictions int
+}
+
 // Result is a compiled circuit plus provenance.
 type Result struct {
 	Circuit *circuit.Circuit
@@ -105,11 +133,45 @@ type Result struct {
 	// Diagnostics holds the full analyzer output (including warnings such
 	// as dead-swap lints) when Options.Verify was set.
 	Diagnostics []verify.Diagnostic
+	// Degraded reports that a resource budget ran out mid-compile and the
+	// compiler fell down the degradation ladder instead of failing. The
+	// circuit is still complete and verifier-clean — the ladder's floor is
+	// the pure ATA solution, whose linear depth Theorem 6.1 guarantees —
+	// just not the candidate an unbounded search would have picked.
+	Degraded bool
+	// DegradeReason says which budget ran out and which rung answered.
+	DegradeReason string
+	// Stats is the governance accounting for this compilation.
+	Stats Stats
 }
 
 // Compile schedules every edge of problem onto a.
 func Compile(a *arch.Arch, problem *graph.Graph, opts Options) (*Result, error) {
+	return CompileContext(context.Background(), a, problem, opts)
+}
+
+// CompileContext is Compile under resource governance: it honors the
+// context's cancellation and deadline plus the Options.Deadline/MaxNodes
+// budgets, polling them in the greedy scheduler loop and the hybrid
+// prediction loop. When a wall-clock or work budget runs out mid-compile
+// the result degrades down a ladder — hybrid → best candidate recorded so
+// far → pure ATA (deterministic, O(n), always constructible on structured
+// architectures) — and reports it via Result.Degraded; Theorem 6.1 is
+// exactly this contract: the output is never worse than the linear-depth
+// structured solution. Explicit context *cancellation* is different: the
+// caller has abandoned the compile, so it returns the context error.
+//
+// CompileContext is also a panic boundary: an internal invariant violation
+// anywhere below surfaces as an ErrInternal-wrapped error (with the panic
+// value and stack) instead of unwinding into the caller.
+func CompileContext(ctx context.Context, a *arch.Arch, problem *graph.Graph, opts Options) (res *Result, err error) {
 	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("%w: panic: %v\n%s", ErrInternal, r, debug.Stack())
+		}
+	}()
 	if opts.Angle == 0 {
 		opts.Angle = 1
 	}
@@ -119,6 +181,7 @@ func Compile(a *arch.Arch, problem *graph.Graph, opts Options) (*Result, error) 
 	if opts.MaxPredictions == 0 {
 		opts.MaxPredictions = 48
 	}
+	bud := newBudget(ctx, start, opts)
 	initial := opts.InitialMapping
 	if initial == nil {
 		initial = greedy.InitialMapping(a, problem)
@@ -132,24 +195,36 @@ func Compile(a *arch.Arch, problem *graph.Graph, opts Options) (*Result, error) 
 			passes = 6
 		}
 		initial = greedy.RefinePlacement(a, problem, initial, passes)
+	} else {
+		// User-supplied mappings are an input boundary: reject them with a
+		// typed error instead of letting the builder panic downstream.
+		if len(initial) != problem.N() {
+			return nil, fmt.Errorf("core: initial mapping covers %d logical qubits, problem has %d", len(initial), problem.N())
+		}
+		if verr := swapnet.ValidateMapping(a, initial); verr != nil {
+			return nil, fmt.Errorf("core: invalid initial mapping: %w", verr)
+		}
 	}
 	if opts.Mode != ModeGreedy && !swapnet.HasATA(a) {
 		return nil, fmt.Errorf("core: architecture %s has no structured pattern; use ModeGreedy", a.Name)
 	}
 
-	var res *Result
-	var err error
 	switch opts.Mode {
 	case ModeGreedy:
-		res, err = compileGreedy(a, problem, initial, opts)
+		res, err = compileGreedy(a, problem, initial, opts, bud)
+		if err != nil && degradable(err) && swapnet.HasATA(a) {
+			res, err = degradeToATA(a, problem, initial, opts, fmt.Errorf("greedy scheduling aborted: %w", err))
+		}
 	case ModeATA:
+		// The floor of the ladder: O(n) pattern replay, never governed.
 		res, err = compileATA(a, problem, initial, opts)
 	default:
-		res, err = compileHybrid(a, problem, initial, opts)
+		res, err = compileHybrid(a, problem, initial, opts, bud)
 	}
 	if err != nil {
 		return nil, err
 	}
+	res.Stats.WorkUnits = bud.nodes
 	res.Metrics = Measure(res.Circuit, opts.Noise)
 	// Static verification (internal/verify): the error-severity analyzers
 	// are the compiler's output contract — a circuit that fails them is a
@@ -176,6 +251,30 @@ func Compile(a *arch.Arch, problem *graph.Graph, opts Options) (*Result, error) 
 		return nil, fmt.Errorf("core: produced invalid circuit: %w", vErr)
 	}
 	res.Metrics.CompileTime = time.Since(start)
+	res.Stats.Elapsed = res.Metrics.CompileTime
+	return res, nil
+}
+
+// interruptOf adapts the budget into the greedy scheduler's Interrupt hook,
+// charging one work unit per scheduler cycle. An unbounded budget never
+// trips, so the ungoverned output stays byte-identical to the pre-
+// governance compiler; the poll itself is a handful of comparisons per
+// scheduler cycle and keeps Stats.WorkUnits truthful either way.
+func interruptOf(bud *budget) func() error {
+	return func() error { return bud.spend(1) }
+}
+
+// degradeToATA is the bottom rung of the degradation ladder: replay the
+// structured all-to-all pattern from the initial placement. It is
+// deterministic and O(n), so it always completes no matter how exhausted
+// the budget is, and Theorem 6.1 bounds its depth linearly.
+func degradeToATA(a *arch.Arch, problem *graph.Graph, initial []int, opts Options, cause error) (*Result, error) {
+	res, err := compileATA(a, problem, initial, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: ATA fallback failed (%v) after budget exhaustion: %w", err, cause)
+	}
+	res.Degraded = true
+	res.DegradeReason = fmt.Sprintf("%v; degraded to pure ATA (linear-depth floor, Theorem 6.1)", cause)
 	return res, nil
 }
 
@@ -195,11 +294,12 @@ func Measure(c *circuit.Circuit, nm *noise.Model) Metrics {
 	return m
 }
 
-func compileGreedy(a *arch.Arch, problem *graph.Graph, initial []int, opts Options) (*Result, error) {
+func compileGreedy(a *arch.Arch, problem *graph.Graph, initial []int, opts Options, bud *budget) (*Result, error) {
 	g, err := greedy.Compile(a, problem, initial, greedy.Options{
 		Noise:          opts.Noise,
 		CrosstalkAware: opts.CrosstalkAware,
 		Angle:          opts.Angle,
+		Interrupt:      interruptOf(bud),
 	})
 	if err != nil {
 		return nil, err

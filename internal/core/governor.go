@@ -1,0 +1,87 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/ata-pattern/ataqc/internal/greedy"
+)
+
+// ErrBudgetExhausted reports that Options.MaxNodes was spent before the
+// compilation finished. The hybrid compiler converts it into a degraded
+// result (Theorem 6.1 fallback) rather than surfacing it; it escapes only
+// from modes with nothing to degrade to.
+var ErrBudgetExhausted = errors.New("core: compile budget exhausted")
+
+// ErrInternal wraps a panic recovered at the Compile boundary: an internal
+// invariant was violated. The wrapped message carries the panic value and
+// stack so the failure is diagnosable without killing the caller.
+var ErrInternal = errors.New("core: internal compiler error")
+
+// budget polices the resource limits of one compilation: the caller's
+// context (cancellation and deadline), the Options.Deadline wall-clock
+// budget, and the Options.MaxNodes work budget. All checks are pull-based:
+// the governed loops call spend/interrupt at coarse checkpoints, so an
+// unbounded budget adds no overhead beyond a few comparisons per cycle.
+type budget struct {
+	ctx      context.Context
+	deadline time.Time // zero when unbounded
+	maxNodes int64     // 0 = unbounded
+	nodes    int64
+}
+
+func newBudget(ctx context.Context, start time.Time, opts Options) *budget {
+	b := &budget{ctx: ctx, maxNodes: int64(opts.MaxNodes)}
+	if opts.Deadline > 0 {
+		b.deadline = start.Add(opts.Deadline)
+	}
+	if d, ok := ctx.Deadline(); ok && (b.deadline.IsZero() || d.Before(b.deadline)) {
+		b.deadline = d
+	}
+	return b
+}
+
+// spend charges n work units and returns a non-nil error once any limit is
+// exceeded: the context's error for cancellation, a DeadlineExceeded-
+// wrapping error for wall-clock exhaustion, ErrBudgetExhausted for the node
+// budget.
+func (b *budget) spend(n int) error {
+	b.nodes += int64(n)
+	return b.interrupt()
+}
+
+// charge records n work units without checking limits — callers that poll
+// via interrupt at loop heads use it to account for completed work.
+func (b *budget) charge(n int) { b.nodes += int64(n) }
+
+// interrupt checks the limits without charging work.
+func (b *budget) interrupt() error {
+	if err := b.ctx.Err(); err != nil {
+		return fmt.Errorf("core: compile interrupted: %w", err)
+	}
+	if !b.deadline.IsZero() && time.Now().After(b.deadline) {
+		return fmt.Errorf("core: compile deadline passed: %w", context.DeadlineExceeded)
+	}
+	if b.maxNodes > 0 && b.nodes > b.maxNodes {
+		return fmt.Errorf("%w (%d work units > %d)", ErrBudgetExhausted, b.nodes, b.maxNodes)
+	}
+	return nil
+}
+
+// degradable reports whether err is a budget-class failure the compiler may
+// answer with the degradation ladder instead of an error: wall-clock or
+// node-budget exhaustion, or the greedy scheduler giving up (its cycle cap
+// or an interrupt it absorbed). Explicit context cancellation is NOT
+// degradable — a canceled caller does not want a fallback circuit — and
+// neither is any correctness failure.
+func degradable(err error) bool {
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	return errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrBudgetExhausted) ||
+		errors.Is(err, greedy.ErrNoProgress) ||
+		errors.Is(err, greedy.ErrInterrupted)
+}

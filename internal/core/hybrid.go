@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"github.com/ata-pattern/ataqc/internal/arch"
@@ -20,8 +21,12 @@ type checkpoint struct {
 
 // compileHybrid is the full framework of Fig 18: greedy processing with ATA
 // pattern prediction at mapping changes, then the compiled-circuits
-// selector.
-func compileHybrid(a *arch.Arch, problem *graph.Graph, initial []int, opts Options) (*Result, error) {
+// selector. The budget governs both phases: an exhausted budget during
+// greedy processing falls to the pure-ATA rung of the degradation ladder;
+// exhaustion during prediction truncates the candidate pool and selects
+// among what was evaluated so far (pure greedy and prefix-0 pure ATA are
+// candidates from the start, so a valid circuit always exists).
+func compileHybrid(a *arch.Arch, problem *graph.Graph, initial []int, opts Options, bud *budget) (*Result, error) {
 	// --- Greedy processing, recording decimated checkpoints. ---
 	var cps []checkpoint
 	stride := 1
@@ -29,6 +34,7 @@ func compileHybrid(a *arch.Arch, problem *graph.Graph, initial []int, opts Optio
 		Noise:          opts.Noise,
 		CrosstalkAware: opts.CrosstalkAware,
 		Angle:          opts.Angle,
+		Interrupt:      interruptOf(bud),
 		Checkpoint: func(prefixLen int, l2p []int, cycle int) {
 			if cycle%stride != 0 {
 				return
@@ -46,6 +52,9 @@ func compileHybrid(a *arch.Arch, problem *graph.Graph, initial []int, opts Optio
 		},
 	})
 	if err != nil {
+		if degradable(err) {
+			return degradeToATA(a, problem, initial, opts, fmt.Errorf("greedy scheduling aborted: %w", err))
+		}
 		return nil, err
 	}
 
@@ -70,14 +79,29 @@ func compileHybrid(a *arch.Arch, problem *graph.Graph, initial []int, opts Optio
 	oLF := lfPre[len(gates)]
 
 	// --- ATA pattern prediction per checkpoint (§6.3). ---
+	// The loop is governed: the budget is polled before every checkpoint and
+	// charged with each prediction's pattern cycles. Exhaustion mid-loop
+	// keeps whatever candidates were scored — the "best candidate recorded
+	// so far" rung of the degradation ladder.
 	type candidate struct {
 		cp     checkpoint
 		f      float64
 		hybrid bool
 	}
+	stats := Stats{Checkpoints: len(cps)}
+	degradeReason := ""
 	bestF := 1.0 // pure greedy: fD/oD = 1 and fidelity ratio = 1
 	var best *candidate
 	for i := range cps {
+		if berr := bud.interrupt(); berr != nil {
+			if !degradable(berr) {
+				return nil, berr
+			}
+			degradeReason = fmt.Sprintf(
+				"prediction budget exhausted after %d/%d checkpoints (%v); selected best candidate so far",
+				i, len(cps), berr)
+			break
+		}
 		cp := cps[i]
 		want := remainingAfterPrefix(problem, gates[:cp.prefixLen])
 		if want.Empty() {
@@ -88,6 +112,8 @@ func compileHybrid(a *arch.Arch, problem *graph.Graph, initial []int, opts Optio
 		if perr != nil {
 			continue
 		}
+		stats.Predictions++
+		bud.charge(pc.cycles)
 		cycles := cp.cycle + pc.cycles
 		cx := cxPre[cp.prefixLen] + pc.cx
 		lf := lfPre[cp.prefixLen] + pc.logFid
@@ -99,7 +125,8 @@ func compileHybrid(a *arch.Arch, problem *graph.Graph, initial []int, opts Optio
 	}
 
 	if best == nil {
-		return &Result{Circuit: g.Circuit, Initial: g.Initial, Final: g.Final, Source: "greedy"}, nil
+		return &Result{Circuit: g.Circuit, Initial: g.Initial, Final: g.Final, Source: "greedy",
+			Degraded: degradeReason != "", DegradeReason: degradeReason, Stats: stats}, nil
 	}
 
 	// --- Materialise the winning greedy-prefix + ATA-suffix circuit. ---
@@ -127,7 +154,8 @@ func compileHybrid(a *arch.Arch, problem *graph.Graph, initial []int, opts Optio
 	if best.cp.prefixLen > 0 {
 		source = "hybrid"
 	}
-	return &Result{Circuit: b.C, Initial: b.InitialMapping(), Final: b.CurrentMapping(), Source: source}, nil
+	return &Result{Circuit: b.C, Initial: b.InitialMapping(), Final: b.CurrentMapping(), Source: source,
+		Degraded: degradeReason != "", DegradeReason: degradeReason, Stats: stats}, nil
 }
 
 // remainingAfterPrefix returns the problem edges not scheduled within the

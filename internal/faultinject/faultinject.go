@@ -1,0 +1,73 @@
+// Package faultinject is a chaos harness for the compiler's robustness
+// contract: for any hostile input — corrupted calibrations, adversarial
+// problem files, degenerate architectures, starved resource budgets — a
+// compile must either return a typed, diagnosable error or produce a
+// (possibly degraded) circuit that passes every error-severity verifier
+// analyzer. Panics escaping the public API are always a bug.
+//
+// The package is pure library plus a test suite; it injects faults through
+// the public ataqc surface only, so it exercises exactly what a user can
+// reach.
+package faultinject
+
+import (
+	"runtime/debug"
+
+	ataqc "github.com/ata-pattern/ataqc"
+)
+
+// Case is one fault-injection scenario. Run performs a full compile (or a
+// parse that feeds one) against a hostile input and returns whatever the
+// public API returned.
+type Case struct {
+	// Name identifies the scenario, grouped as "injector/variant".
+	Name string
+	// Run executes the scenario. It may return a nil Result with a nil
+	// error only for parse-rejection cases where there is nothing to
+	// compile; compile cases return the Result for verification.
+	Run func() (*ataqc.Result, error)
+	// WantErr marks scenarios whose input is outright invalid: the run
+	// must fail with an error (a silently-accepted corrupt input is a
+	// contract violation, not a pass).
+	WantErr bool
+	// WantDegraded marks starved-budget scenarios where the structured ATA
+	// fallback exists: the run must succeed AND report Result.Degraded.
+	WantDegraded bool
+}
+
+// Report is the outcome of executing one Case under the panic boundary.
+type Report struct {
+	Case   string
+	Result *ataqc.Result
+	Err    error
+	// Panicked is set when Run let a panic escape, with the recovered
+	// value and stack; this is unconditionally a failure.
+	Panicked bool
+	Panic    any
+	Stack    []byte
+}
+
+// Execute runs one case, converting an escaped panic into a Report instead
+// of unwinding into the caller.
+func Execute(c Case) (rep Report) {
+	rep.Case = c.Name
+	defer func() {
+		if r := recover(); r != nil {
+			rep.Panicked = true
+			rep.Panic = r
+			rep.Stack = debug.Stack()
+		}
+	}()
+	rep.Result, rep.Err = c.Run()
+	return rep
+}
+
+// AllCases returns every scenario from every injector group.
+func AllCases() []Case {
+	var all []Case
+	all = append(all, CalibrationCases()...)
+	all = append(all, ProblemCases()...)
+	all = append(all, ArchitectureCases()...)
+	all = append(all, BudgetCases()...)
+	return all
+}

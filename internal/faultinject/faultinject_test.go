@@ -1,0 +1,66 @@
+package faultinject
+
+import (
+	"testing"
+
+	ataqc "github.com/ata-pattern/ataqc"
+)
+
+// TestChaosSuite drives every injected fault through the public API and
+// enforces the robustness contract case by case:
+//
+//   - no panic ever escapes;
+//   - invalid inputs (WantErr) fail with a non-nil error;
+//   - starved budgets with a structured fallback (WantDegraded) succeed
+//     with Result.Degraded set and a non-empty reason;
+//   - any successful compile — degraded or not — carries zero
+//     error-severity verifier diagnostics.
+func TestChaosSuite(t *testing.T) {
+	for _, c := range AllCases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			rep := Execute(c)
+			if rep.Panicked {
+				t.Fatalf("panic escaped the public API: %v\n%s", rep.Panic, rep.Stack)
+			}
+			if c.WantErr {
+				if rep.Err == nil {
+					t.Fatal("corrupt input was silently accepted")
+				}
+				t.Logf("rejected as designed: %v", rep.Err)
+				return
+			}
+			if rep.Err != nil {
+				t.Fatalf("healthy scenario failed: %v", rep.Err)
+			}
+			if c.WantDegraded {
+				if rep.Result == nil || !rep.Result.Degraded() {
+					t.Fatal("starved budget did not degrade to the ATA fallback")
+				}
+				if rep.Result.DegradeReason() == "" {
+					t.Fatal("degraded result carries no reason")
+				}
+			}
+			if rep.Result == nil {
+				return // parse-only scenario with nothing to verify
+			}
+			for _, d := range rep.Result.Lint() {
+				if d.Severity == "error" {
+					t.Errorf("compiled circuit fails verification: %v", d)
+				}
+			}
+		})
+	}
+}
+
+// TestExecuteCatchesPanics proves the harness itself honors its boundary:
+// a Run that panics yields a Report, not an unwound test process.
+func TestExecuteCatchesPanics(t *testing.T) {
+	rep := Execute(Case{Name: "meta/panic", Run: func() (*ataqc.Result, error) {
+		panic("boom")
+	}})
+	if !rep.Panicked || rep.Panic != "boom" || len(rep.Stack) == 0 {
+		t.Fatalf("harness lost the panic: %+v", rep)
+	}
+}

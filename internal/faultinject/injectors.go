@@ -1,0 +1,227 @@
+package faultinject
+
+import (
+	"context"
+	"math"
+	"strings"
+	"time"
+
+	ataqc "github.com/ata-pattern/ataqc"
+)
+
+// CalibrationCases injects corrupted calibration data: non-finite and
+// out-of-range rates, entries naming links the device does not have, and
+// malformed JSON. Every corruption must be rejected before it can poison a
+// noise-aware compile.
+func CalibrationCases() []Case {
+	lineCal := func(c *ataqc.Calibration) (*ataqc.Result, error) {
+		_, err := ataqc.LineDevice(4).WithCalibration(c)
+		return nil, err
+	}
+	twoQubit := func(rate float64) func() (*ataqc.Result, error) {
+		return func() (*ataqc.Result, error) {
+			return lineCal(&ataqc.Calibration{
+				TwoQubit: []ataqc.CouplingError{{Q0: 0, Q1: 1, Error: rate}},
+			})
+		}
+	}
+	parse := func(js string) func() (*ataqc.Result, error) {
+		return func() (*ataqc.Result, error) {
+			_, err := ataqc.ParseCalibration(strings.NewReader(js))
+			return nil, err
+		}
+	}
+	return []Case{
+		{Name: "calibration/two-qubit-nan", Run: twoQubit(math.NaN()), WantErr: true},
+		{Name: "calibration/two-qubit-pos-inf", Run: twoQubit(math.Inf(1)), WantErr: true},
+		{Name: "calibration/two-qubit-neg-inf", Run: twoQubit(math.Inf(-1)), WantErr: true},
+		{Name: "calibration/two-qubit-negative", Run: twoQubit(-0.25), WantErr: true},
+		{Name: "calibration/two-qubit-certain-failure", Run: twoQubit(1.0), WantErr: true},
+		{Name: "calibration/non-coupling-edge", Run: func() (*ataqc.Result, error) {
+			return lineCal(&ataqc.Calibration{
+				TwoQubit: []ataqc.CouplingError{{Q0: 0, Q1: 3, Error: 0.01}},
+			})
+		}, WantErr: true},
+		{Name: "calibration/negative-qubit-id", Run: func() (*ataqc.Result, error) {
+			return lineCal(&ataqc.Calibration{
+				TwoQubit: []ataqc.CouplingError{{Q0: -2, Q1: 1, Error: 0.01}},
+			})
+		}, WantErr: true},
+		{Name: "calibration/duplicate-coupling", Run: func() (*ataqc.Result, error) {
+			return lineCal(&ataqc.Calibration{
+				TwoQubit: []ataqc.CouplingError{
+					{Q0: 0, Q1: 1, Error: 0.01},
+					{Q0: 1, Q1: 0, Error: 0.05},
+				},
+			})
+		}, WantErr: true},
+		{Name: "calibration/oversized-single-qubit-list", Run: func() (*ataqc.Result, error) {
+			return lineCal(&ataqc.Calibration{SingleQubit: []float64{0, 0, 0, 0, 0.1}})
+		}, WantErr: true},
+		{Name: "calibration/nan-readout", Run: func() (*ataqc.Result, error) {
+			return lineCal(&ataqc.Calibration{Readout: []float64{math.NaN()}})
+		}, WantErr: true},
+		{Name: "calibration/nan-idle-per-cycle", Run: func() (*ataqc.Result, error) {
+			return lineCal(&ataqc.Calibration{IdlePerCycle: math.NaN()})
+		}, WantErr: true},
+		{Name: "calibration/garbage-json", Run: parse(`{{{{not json`), WantErr: true},
+		{Name: "calibration/truncated-json", Run: parse(`{"twoQubit": [{"q0": 0, "q1": 1,`), WantErr: true},
+		{Name: "calibration/unknown-field", Run: parse(`{"bogus": 1}`), WantErr: true},
+		{Name: "calibration/wrong-shape", Run: parse(`{"twoQubit": 7}`), WantErr: true},
+		// Control: a clean calibration must still feed a noise-aware compile.
+		{Name: "calibration/clean-control", Run: func() (*ataqc.Result, error) {
+			dev, err := ataqc.LineDevice(4).WithCalibration(&ataqc.Calibration{
+				TwoQubit: []ataqc.CouplingError{
+					{Q0: 0, Q1: 1, Error: 0.02},
+					{Q0: 1, Q1: 2, Error: 0.01},
+				},
+				IdlePerCycle: 0.001,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return ataqc.Compile(dev, ataqc.RandomProblem(4, 0.6, 1), ataqc.Options{NoiseAware: true})
+		}},
+	}
+}
+
+// ProblemCases injects adversarial problem streams through ParseProblem and
+// oversized problems through Compile.
+func ProblemCases() []Case {
+	parse := func(src string) func() (*ataqc.Result, error) {
+		return func() (*ataqc.Result, error) {
+			_, err := ataqc.ParseProblem(strings.NewReader(src))
+			return nil, err
+		}
+	}
+	return []Case{
+		{Name: "problem/self-loop", Run: parse("3 3\n"), WantErr: true},
+		{Name: "problem/negative-vertex", Run: parse("-1 2\n"), WantErr: true},
+		{Name: "problem/non-numeric", Run: parse("zero one\n"), WantErr: true},
+		{Name: "problem/missing-endpoint", Run: parse("4\n"), WantErr: true},
+		{Name: "problem/empty-stream", Run: parse(""), WantErr: true},
+		{Name: "problem/comments-only", Run: parse("# nothing here\n\n"), WantErr: true},
+		{Name: "problem/allocation-bomb", Run: parse("0 999999999\n"), WantErr: true},
+		{Name: "problem/wider-than-device", Run: func() (*ataqc.Result, error) {
+			return ataqc.Compile(ataqc.LineDevice(4), ataqc.RandomProblem(8, 0.5, 1), ataqc.Options{})
+		}, WantErr: true},
+		{Name: "problem/unknown-strategy", Run: func() (*ataqc.Result, error) {
+			return ataqc.Compile(ataqc.GridDevice(9), ataqc.RandomProblem(9, 0.4, 1), ataqc.Options{Strategy: "warp-drive"})
+		}, WantErr: true},
+		// Control: a well-formed stream parses and compiles cleanly.
+		{Name: "problem/clean-control", Run: func() (*ataqc.Result, error) {
+			p, err := ataqc.ParseProblem(strings.NewReader("0 1\n1 2\n# comment\n2 3\n"))
+			if err != nil {
+				return nil, err
+			}
+			return ataqc.Compile(ataqc.GridDevice(4), p, ataqc.Options{})
+		}},
+	}
+}
+
+// ArchitectureCases injects degenerate devices: disconnected coupling
+// graphs, couplingless devices, and strategy/device mismatches.
+func ArchitectureCases() []Case {
+	return []Case{
+		{Name: "arch/disconnected-islands", Run: func() (*ataqc.Result, error) {
+			dev, err := ataqc.CustomDevice("islands", 4, [][2]int{{0, 1}, {2, 3}})
+			if err != nil {
+				return nil, err
+			}
+			p := ataqc.NewProblem(4)
+			p.AddInteraction(0, 2) // spans the two islands
+			return ataqc.Compile(dev, p, ataqc.Options{Strategy: ataqc.StrategyGreedy})
+		}, WantErr: true},
+		{Name: "arch/no-couplings", Run: func() (*ataqc.Result, error) {
+			dev, err := ataqc.CustomDevice("mute", 3, nil)
+			if err != nil {
+				return nil, err
+			}
+			p := ataqc.NewProblem(3)
+			p.AddInteraction(0, 1)
+			return ataqc.Compile(dev, p, ataqc.Options{Strategy: ataqc.StrategyGreedy})
+		}, WantErr: true},
+		{Name: "arch/self-loop-coupling", Run: func() (*ataqc.Result, error) {
+			_, err := ataqc.CustomDevice("loop", 3, [][2]int{{1, 1}})
+			return nil, err
+		}, WantErr: true},
+		{Name: "arch/out-of-range-coupling", Run: func() (*ataqc.Result, error) {
+			_, err := ataqc.CustomDevice("oob", 3, [][2]int{{0, 7}})
+			return nil, err
+		}, WantErr: true},
+		{Name: "arch/zero-qubits", Run: func() (*ataqc.Result, error) {
+			_, err := ataqc.CustomDevice("void", 0, nil)
+			return nil, err
+		}, WantErr: true},
+		{Name: "arch/hybrid-on-irregular", Run: func() (*ataqc.Result, error) {
+			dev, err := ataqc.CustomDevice("ring", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+			if err != nil {
+				return nil, err
+			}
+			return ataqc.Compile(dev, ataqc.RandomProblem(4, 0.5, 1), ataqc.Options{})
+		}, WantErr: true},
+		// Control: greedy on the same irregular ring works.
+		{Name: "arch/greedy-on-irregular-control", Run: func() (*ataqc.Result, error) {
+			dev, err := ataqc.CustomDevice("ring", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+			if err != nil {
+				return nil, err
+			}
+			return ataqc.Compile(dev, ataqc.RandomProblem(4, 0.5, 1), ataqc.Options{Strategy: ataqc.StrategyGreedy})
+		}},
+	}
+}
+
+// BudgetCases starves compiles of time and work budget. The governed
+// strategies must degrade to a verifier-clean circuit where the structured
+// ATA fallback exists, and fail with a typed error where it does not; a
+// canceled context is always an error.
+func BudgetCases() []Case {
+	return []Case{
+		{Name: "budget/expired-deadline-hybrid", Run: func() (*ataqc.Result, error) {
+			return ataqc.Compile(ataqc.GridDevice(64), ataqc.RandomProblem(64, 0.5, 3), ataqc.Options{
+				Deadline: time.Nanosecond,
+			})
+		}, WantDegraded: true},
+		{Name: "budget/one-work-unit-hybrid", Run: func() (*ataqc.Result, error) {
+			return ataqc.Compile(ataqc.GridDevice(36), ataqc.RandomProblem(36, 0.4, 5), ataqc.Options{
+				MaxNodes: 1,
+			})
+		}, WantDegraded: true},
+		{Name: "budget/one-work-unit-noise-aware", Run: func() (*ataqc.Result, error) {
+			dev := ataqc.HeavyHexDevice(27).WithSyntheticNoise(9)
+			return ataqc.Compile(dev, ataqc.RandomProblem(27, 0.4, 5), ataqc.Options{
+				MaxNodes:   1,
+				NoiseAware: true,
+			})
+		}, WantDegraded: true},
+		{Name: "budget/one-work-unit-greedy-irregular", Run: func() (*ataqc.Result, error) {
+			// A chordal irregular device has no structured ATA fallback: the
+			// budget must surface as a typed error, never a hang or panic.
+			dev, err := ataqc.CustomDevice("chord-6", 6, [][2]int{
+				{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {0, 3},
+			})
+			if err != nil {
+				return nil, err
+			}
+			return ataqc.Compile(dev, ataqc.RandomProblem(6, 0.6, 2), ataqc.Options{
+				Strategy: ataqc.StrategyGreedy,
+				MaxNodes: 1,
+			})
+		}, WantErr: true},
+		{Name: "budget/canceled-context-compile", Run: func() (*ataqc.Result, error) {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			return ataqc.CompileContext(ctx, ataqc.GridDevice(36), ataqc.RandomProblem(36, 0.4, 5), ataqc.Options{})
+		}, WantErr: true},
+		{Name: "budget/canceled-context-solver", Run: func() (*ataqc.Result, error) {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			_, err := ataqc.OptimalDepthContext(ctx, ataqc.LineDevice(7), ataqc.RandomProblem(7, 1, 1), 0)
+			return nil, err
+		}, WantErr: true},
+		// Control: the same workloads unbounded compile without degradation.
+		{Name: "budget/unbounded-control", Run: func() (*ataqc.Result, error) {
+			return ataqc.Compile(ataqc.GridDevice(36), ataqc.RandomProblem(36, 0.4, 5), ataqc.Options{})
+		}},
+	}
+}

@@ -1,0 +1,62 @@
+package greedy
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/graph"
+)
+
+func TestUnreachableGateTypedError(t *testing.T) {
+	// Two disconnected 2-qubit islands; the problem wants a gate across.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	a := arch.Generic("islands-4", g)
+	p := graph.New(4)
+	p.AddEdge(0, 2)
+	_, err := Compile(a, p, nil, Options{})
+	if err == nil {
+		t.Fatal("expected an error for a cross-component interaction")
+	}
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("error should wrap ErrUnreachable, got %v", err)
+	}
+}
+
+func TestInterruptAbortsPromptly(t *testing.T) {
+	a := arch.GridN(36)
+	p := graph.Complete(36)
+	cause := fmt.Errorf("stop now")
+	polls := 0
+	_, err := Compile(a, p, nil, Options{Interrupt: func() error {
+		polls++
+		if polls >= 3 {
+			return cause
+		}
+		return nil
+	}})
+	if err == nil {
+		t.Fatal("expected the interrupt to abort compilation")
+	}
+	if !errors.Is(err, ErrInterrupted) || !errors.Is(err, cause) {
+		t.Fatalf("error should wrap ErrInterrupted and the cause, got %v", err)
+	}
+	if polls > 4 {
+		t.Fatalf("scheduler kept running after the interrupt fired (%d polls)", polls)
+	}
+}
+
+func TestNoProgressTypedError(t *testing.T) {
+	a := arch.GridN(16)
+	p := graph.Complete(16)
+	_, err := Compile(a, p, nil, Options{MaxCycles: 3})
+	if err == nil {
+		t.Fatal("expected the cycle cap to abort compilation")
+	}
+	if !errors.Is(err, ErrNoProgress) {
+		t.Fatalf("error should wrap ErrNoProgress, got %v", err)
+	}
+}

@@ -11,6 +11,7 @@
 package greedy
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -20,6 +21,21 @@ import (
 	"github.com/ata-pattern/ataqc/internal/graph"
 	"github.com/ata-pattern/ataqc/internal/noise"
 )
+
+// ErrNoProgress reports that the scheduler hit its cycle cap with gates
+// still unscheduled — a budget-class failure the hybrid compiler answers
+// with the structured-pattern fallback (Theorem 6.1).
+var ErrNoProgress = errors.New("greedy: no progress")
+
+// ErrInterrupted reports that Options.Interrupt aborted the compilation;
+// it wraps the interrupt's cause (e.g. context.DeadlineExceeded), so
+// errors.Is sees through it.
+var ErrInterrupted = errors.New("greedy: interrupted")
+
+// ErrUnreachable reports a problem edge whose endpoints sit in different
+// connected components of the coupling graph: no SWAP sequence can ever
+// bring them together, so failing up front beats walking forever.
+var ErrUnreachable = errors.New("greedy: gate endpoints unreachable")
 
 // Options configures the greedy compiler.
 type Options struct {
@@ -41,6 +57,11 @@ type Options struct {
 	// the current logical-to-physical mapping. The hybrid compiler uses it
 	// to branch into ATA prediction (§6.3).
 	Checkpoint func(prefixLen int, l2p []int, cycle int)
+	// Interrupt, if non-nil, is polled once per scheduler cycle (including
+	// each forced step of the stall-recovery walk). A non-nil return aborts
+	// the compilation immediately with an ErrInterrupted-wrapped error —
+	// the hybrid compiler's resource governor plugs in here.
+	Interrupt func() error
 }
 
 // Result is a completed greedy compilation.
@@ -68,6 +89,13 @@ func Compile(a *arch.Arch, problem *graph.Graph, initial []int, opts Options) (*
 	remSet := newPairSet(problem.N())
 	for _, e := range remaining {
 		remSet.add(e)
+		// SWAPs move qubits along coupling edges, so a logical qubit can
+		// never leave its connected component: a cross-component gate is
+		// unschedulable forever, not merely slow.
+		if dist[b.PhysOf(e.U)][b.PhysOf(e.V)] < 0 {
+			return nil, fmt.Errorf("%w: interaction %v spans disconnected parts of %s",
+				ErrUnreachable, e, a.Name)
+		}
 	}
 	ws := newWorkspace(a)
 	var xtalk map[graph.Edge][]graph.Edge
@@ -84,9 +112,14 @@ func Compile(a *arch.Arch, problem *graph.Graph, initial []int, opts Options) (*
 	stallLimit := a.Diameter() + 8
 	for len(remaining) > 0 {
 		if cycle >= maxCycles {
-			return nil, fmt.Errorf("greedy: no progress after %d cycles (%d gates left)", cycle, len(remaining))
+			return nil, fmt.Errorf("%w after %d cycles (%d gates left)", ErrNoProgress, cycle, len(remaining))
 		}
 		cycle++
+		if opts.Interrupt != nil {
+			if ierr := opts.Interrupt(); ierr != nil {
+				return nil, fmt.Errorf("%w at cycle %d: %w", ErrInterrupted, cycle, ierr)
+			}
+		}
 
 		if stall > stallLimit {
 			// The matching dynamics can chase their own tail on rare
@@ -94,6 +127,14 @@ func Compile(a *arch.Arch, problem *graph.Graph, initial []int, opts Options) (*
 			// walking it home one SWAP per cycle, then resume.
 			e := closestGate(b, dist, remaining)
 			for !a.G.HasEdge(b.PhysOf(e.U), b.PhysOf(e.V)) {
+				if cycle >= maxCycles {
+					return nil, fmt.Errorf("%w after %d cycles (stall walk)", ErrNoProgress, cycle)
+				}
+				if opts.Interrupt != nil {
+					if ierr := opts.Interrupt(); ierr != nil {
+						return nil, fmt.Errorf("%w at cycle %d: %w", ErrInterrupted, cycle, ierr)
+					}
+				}
 				s := forcedSwap(a, b, dist, e, opts.Noise)
 				b.Swap(s.U, s.V)
 				cycle++

@@ -1,0 +1,51 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/graph"
+)
+
+func TestSolveContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// K7 on a line needs far more than one poll stride of expansions, so
+	// the pre-canceled context is observed deterministically.
+	_, err := SolveContext(ctx, arch.Line(7), graph.Complete(7), nil, Options{})
+	if err == nil {
+		t.Fatal("expected the canceled context to abandon the search")
+	}
+	if !errors.Is(err, ErrInterrupted) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("error should wrap ErrInterrupted and context.Canceled, got %v", err)
+	}
+}
+
+func TestSolveContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := SolveContext(ctx, arch.Line(8), graph.Complete(8), nil, Options{})
+	if err == nil {
+		t.Skip("machine solved K8 within the deadline; nothing to observe")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error should wrap context.DeadlineExceeded, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("search overran its deadline by %v; the poll stride is supposed to bound overrun", elapsed)
+	}
+}
+
+func TestSolveUnaffectedByBackgroundContext(t *testing.T) {
+	res, err := Solve(arch.Line(4), graph.Complete(4), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Depth == 0 {
+		t.Fatal("expected a nonzero optimal depth for K4")
+	}
+}

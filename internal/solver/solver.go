@@ -20,6 +20,7 @@ package solver
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 
@@ -54,11 +55,28 @@ type Options struct {
 // ErrSearchExhausted is returned when MaxNodes is hit before a terminal.
 var ErrSearchExhausted = errors.New("solver: node budget exhausted")
 
+// ErrInterrupted is returned when the search is abandoned because its
+// context was canceled or its deadline passed; it wraps the context's
+// error, so errors.Is(err, context.DeadlineExceeded) sees through it.
+var ErrInterrupted = errors.New("solver: search interrupted")
+
 const maxEdges = 64
+
+// interruptStride is how many node expansions pass between context polls:
+// cheap enough to bound overrun to a few milliseconds, coarse enough to
+// keep ctx.Err out of the expansion hot path.
+const interruptStride = 1024
 
 // Solve returns a depth-optimal schedule for problem on a from the initial
 // mapping (identity if nil). The problem must have at most 64 edges.
 func Solve(a *arch.Arch, problem *graph.Graph, initial []int, opts Options) (*Result, error) {
+	return SolveContext(context.Background(), a, problem, initial, opts)
+}
+
+// SolveContext is Solve honoring a context: the expansion loop polls
+// ctx every interruptStride nodes and abandons the search with an
+// ErrInterrupted-wrapped error on cancellation or deadline expiry.
+func SolveContext(ctx context.Context, a *arch.Arch, problem *graph.Graph, initial []int, opts Options) (*Result, error) {
 	edges := problem.Edges()
 	if len(edges) == 0 {
 		return &Result{}, nil
@@ -127,6 +145,11 @@ func Solve(a *arch.Arch, problem *graph.Graph, initial []int, opts Options) (*Re
 		explored++
 		if explored > maxNodes {
 			return nil, ErrSearchExhausted
+		}
+		if explored%interruptStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("%w after %d nodes: %w", ErrInterrupted, explored, err)
+			}
 		}
 		s.expand(cur, func(child *node) {
 			k := s.key(child)

@@ -124,6 +124,31 @@ type State struct {
 	Want *EdgeSet
 }
 
+// ValidateMapping checks that l2p is an injection of logical qubits into
+// the physical qubits of a, returning a descriptive error. The State
+// constructors reserve panics for the same violation because their callers
+// are compiler-internal; user-supplied mappings should be screened here at
+// the input boundary instead.
+func ValidateMapping(a *arch.Arch, l2p []int) error {
+	if len(l2p) > a.N() {
+		return fmt.Errorf("swapnet: mapping places %d logical qubits but %s has %d physical", len(l2p), a.Name, a.N())
+	}
+	seen := make([]int, a.N())
+	for i := range seen {
+		seen[i] = -1
+	}
+	for l, p := range l2p {
+		if p < 0 || p >= a.N() {
+			return fmt.Errorf("swapnet: mapping sends logical %d to invalid physical %d (device has %d qubits)", l, p, a.N())
+		}
+		if seen[p] != -1 {
+			return fmt.Errorf("swapnet: mapping sends both logical %d and %d to physical %d", seen[p], l, p)
+		}
+		seen[p] = l
+	}
+	return nil
+}
+
 // NewState returns a state over architecture a with nLogical qubits placed
 // by initial (identity when nil) and the edges of problem wanted.
 func NewState(a *arch.Arch, nLogical int, initial []int, problem *graph.Graph) *State {

@@ -1,6 +1,8 @@
 package verify
 
 import (
+	"math"
+
 	"github.com/ata-pattern/ataqc/internal/circuit"
 	"github.com/ata-pattern/ataqc/internal/graph"
 )
@@ -54,6 +56,18 @@ recomputed independently, must equal the depth the scheduler reports
 (Pass.ReportedDepth). Guards the §7.1 depth metric against layering bugs.`,
 }
 
+// AngleSanity rejects non-finite rotation angles: a NaN or Inf angle means
+// corrupted parameter binding upstream (a poisoned calibration, a broken
+// optimizer step) silently produced a circuit no hardware can execute.
+var AngleSanity = &Analyzer{
+	Name:     "angle-sanity",
+	Severity: SeverityError,
+	Doc: `Every angle-carrying gate (ZZ, ZZSwap, RX, RZ) must have a finite
+angle. NaN/Inf angles arise from corrupted upstream parameters — e.g. a
+garbage calibration feeding the QAOA optimizer — and would only be caught
+at hardware submission time. Fault-containment check, error severity.`,
+}
+
 // DeadSwap flags SWAPs that no later program gate depends on — they cost 3
 // CX and change only the final permutation, which routing never needs.
 var DeadSwap = &Analyzer{
@@ -70,7 +84,21 @@ func init() {
 	PermSoundness.Run = runPermSoundness
 	Coverage.Run = runCoverage
 	DepthConsistency.Run = runDepthConsistency
+	AngleSanity.Run = runAngleSanity
 	DeadSwap.Run = runDeadSwap
+}
+
+func runAngleSanity(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	for i, g := range p.Circuit.Gates {
+		switch g.Kind {
+		case circuit.GateZZ, circuit.GateZZSwap, circuit.GateRX, circuit.GateRZ:
+			if math.IsNaN(g.Angle) || math.IsInf(g.Angle, 0) {
+				out = append(out, report(AngleSanity, i, "%v carries non-finite angle %v", g.Kind, g.Angle))
+			}
+		}
+	}
+	return out
 }
 
 func runArchConformance(p *Pass) []Diagnostic {

@@ -94,11 +94,11 @@ type Analyzer struct {
 }
 
 // All lists every registered analyzer, errors first.
-var All = []*Analyzer{ArchConformance, PermSoundness, Coverage, DepthConsistency, DeadSwap}
+var All = []*Analyzer{ArchConformance, PermSoundness, Coverage, DepthConsistency, AngleSanity, DeadSwap}
 
 // Strict lists the error-severity analyzers — the set a compiler output
 // must pass for the compilation to be considered correct.
-var Strict = []*Analyzer{ArchConformance, PermSoundness, Coverage, DepthConsistency}
+var Strict = []*Analyzer{ArchConformance, PermSoundness, Coverage, DepthConsistency, AngleSanity}
 
 // Run executes the analyzers against the pass and returns their combined
 // diagnostics, ordered by gate position (circuit-level findings last).
