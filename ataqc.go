@@ -249,6 +249,11 @@ type Options struct {
 	// scheduler cycles plus predicted ATA pattern cycles. Exhaustion
 	// degrades exactly like a deadline.
 	MaxNodes int
+	// Workers bounds the concurrency of the hybrid strategy's prediction
+	// loop (0 = runtime.GOMAXPROCS(0), 1 = serial). The compiled circuit is
+	// identical for every worker count under an unbounded budget; workers
+	// (and the pattern memoisation they enable) only change compile time.
+	Workers int
 }
 
 // Result is a compiled circuit with its measurements.
@@ -311,6 +316,7 @@ func CompileContext(ctx context.Context, dev *Device, p *Problem, opts Options) 
 			Angle:          opts.Angle,
 			Deadline:       opts.Deadline,
 			MaxNodes:       opts.MaxNodes,
+			Workers:        opts.Workers,
 		})
 		if err != nil {
 			return nil, err

@@ -38,6 +38,7 @@ func main() {
 		showArch = flag.Bool("show-arch", false, "print an ASCII picture of the device and exit")
 		showSch  = flag.Bool("schedule", false, "print the compiled schedule cycle by cycle")
 		timeout  = flag.Duration("timeout", 0, "wall-clock compile budget, e.g. 30s (0 = unbounded); on expiry the compiler degrades to the linear-depth ATA fallback")
+		workers  = flag.Int("workers", 0, "hybrid prediction workers (0 = GOMAXPROCS, 1 = serial); the compiled circuit is identical for every value")
 	)
 	flag.Parse()
 
@@ -107,6 +108,7 @@ func main() {
 	res, err := ataqc.CompileContext(ctx, dev, prob, ataqc.Options{
 		Strategy:   ataqc.Strategy(*strategy),
 		NoiseAware: *noisy,
+		Workers:    *workers,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -28,6 +28,7 @@ func main() {
 		trials  = flag.Int("trials", 0, "graphs per cell (default: 10 full / 3 quick)")
 		seed    = flag.Int64("seed", 1, "workload seed")
 		timeout = flag.Duration("timeout", 0, "per-compile wall-clock budget, e.g. 2m (0 = unbounded); expired compiles degrade to the linear-depth ATA fallback instead of failing the run")
+		workers = flag.Int("workers", 0, "hybrid prediction workers per compile (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
 	)
 	flag.Parse()
 
@@ -40,6 +41,7 @@ func main() {
 		cfg.Trials = *trials
 	}
 	cfg.Deadline = *timeout
+	cfg.Workers = *workers
 	if *timeout > 0 {
 		fmt.Fprintf(os.Stderr, "per-compile deadline %s: compiles that run out of budget degrade to the structured ATA solution instead of failing the run\n", *timeout)
 	}

@@ -7,6 +7,8 @@ package arch
 
 import (
 	"fmt"
+	"hash/fnv"
+	"sync"
 
 	"github.com/ata-pattern/ataqc/internal/graph"
 )
@@ -75,7 +77,15 @@ type Arch struct {
 	// qubit and its neighbouring positions on Path (indices into Path).
 	OffPath []OffPathQubit
 
-	dist [][]int
+	distOnce sync.Once
+	dist     [][]int
+
+	fpOnce sync.Once
+	fp     uint64
+
+	unitOnce sync.Once
+	unitOf   []int
+	posOf    []int
 }
 
 // OffPathQubit is a heavy-hex bridge qubit hanging off the longest path.
@@ -88,20 +98,70 @@ type OffPathQubit struct {
 func (a *Arch) N() int { return a.G.N() }
 
 // Dist returns the shortest-path distance between physical qubits p and q,
-// computing and caching the all-pairs matrix on first use.
+// computing and caching the all-pairs matrix on first use. The cache fill is
+// synchronised, so an Arch may be shared by concurrent compilations.
 func (a *Arch) Dist(p, q int) int {
-	if a.dist == nil {
-		a.dist = a.G.AllPairsDistances()
-	}
-	return a.dist[p][q]
+	return a.Distances()[p][q]
 }
 
-// Distances returns the cached all-pairs distance matrix.
+// Distances returns the cached all-pairs distance matrix. The matrix is
+// computed at most once and must be treated as read-only by callers.
 func (a *Arch) Distances() [][]int {
-	if a.dist == nil {
-		a.dist = a.G.AllPairsDistances()
-	}
+	a.distOnce.Do(func() { a.dist = a.G.AllPairsDistances() })
 	return a.dist
+}
+
+// Fingerprint returns a structural hash of the architecture: family, size,
+// couplings, unit decomposition, snake, and path. Two independently
+// constructed architectures with the same structure share a fingerprint, so
+// caches keyed by it (internal/swapnet's pattern cache) survive across Arch
+// instances. The constructors force it once at construction; the accessor is
+// synchronised for any Arch assembled by hand.
+func (a *Arch) Fingerprint() uint64 {
+	a.fpOnce.Do(a.computeFingerprint)
+	return a.fp
+}
+
+func (a *Arch) computeFingerprint() {
+	h := fnv.New64a()
+	buf := make([]byte, 0, 8)
+	w := func(vs ...int) {
+		for _, v := range vs {
+			buf = buf[:0]
+			u := uint64(v)
+			for i := 0; i < 8; i++ {
+				buf = append(buf, byte(u>>(8*i)))
+			}
+			h.Write(buf)
+		}
+	}
+	w(int(a.Kind), a.N())
+	for _, e := range a.G.Edges() {
+		w(e.U, e.V)
+	}
+	w(len(a.Units))
+	for _, u := range a.Units {
+		w(len(u))
+		w(u...)
+	}
+	w(len(a.Snake))
+	w(a.Snake...)
+	w(len(a.Path))
+	w(a.Path...)
+	w(len(a.OffPath))
+	for _, op := range a.OffPath {
+		w(op.Qubit)
+		w(op.PathAnchors...)
+	}
+	a.fp = h.Sum64()
+}
+
+// seal finalises a constructed architecture: it computes the structural
+// fingerprint once, so sharing the Arch across goroutines never races on
+// lazy initialisation. Every constructor returns through it.
+func (a *Arch) seal() *Arch {
+	a.Fingerprint()
+	return a
 }
 
 // Diameter returns the graph diameter.
@@ -133,7 +193,7 @@ func Line(n int) *Arch {
 		snake[i] = i
 		unit[i] = i
 	}
-	return &Arch{
+	a := &Arch{
 		Name:   fmt.Sprintf("line-%d", n),
 		Kind:   KindLine,
 		G:      g,
@@ -142,6 +202,7 @@ func Line(n int) *Arch {
 		Snake:  snake,
 		Path:   snake,
 	}
+	return a.seal()
 }
 
 // Generic wraps an arbitrary coupling graph with no exploitable structure;
@@ -151,5 +212,6 @@ func Generic(name string, g *graph.Graph) *Arch {
 	for i := range coords {
 		coords[i] = Coord{Row: 0, Col: i}
 	}
-	return &Arch{Name: name, Kind: KindGeneric, G: g, Coords: coords}
+	a := &Arch{Name: name, Kind: KindGeneric, G: g, Coords: coords}
+	return a.seal()
 }

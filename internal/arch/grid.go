@@ -46,7 +46,7 @@ func Grid(rows, cols int) *Arch {
 			}
 		}
 	}
-	return &Arch{
+	a := &Arch{
 		Name:   fmt.Sprintf("grid-%dx%d", rows, cols),
 		Kind:   KindGrid,
 		G:      g,
@@ -55,6 +55,7 @@ func Grid(rows, cols int) *Arch {
 		Snake:  snake,
 		Path:   snake,
 	}
+	return a.seal()
 }
 
 // GridN returns a near-square grid with at least n qubits, the paper's
@@ -145,7 +146,7 @@ func Lattice3D(x, y, z int) *Arch {
 		}
 		snake = append(snake, plane...)
 	}
-	return &Arch{
+	a := &Arch{
 		Name:   fmt.Sprintf("lattice3d-%dx%dx%d", x, y, z),
 		Kind:   KindLattice3D,
 		G:      g,
@@ -154,4 +155,5 @@ func Lattice3D(x, y, z int) *Arch {
 		Snake:  snake,
 		Path:   snake,
 	}
+	return a.seal()
 }

@@ -121,7 +121,7 @@ func HeavyHex(rows, width int) *Arch {
 		offPath = append(offPath, OffPathQubit{Qubit: b.id, PathAnchors: anchors})
 	}
 
-	return &Arch{
+	a := &Arch{
 		Name:    fmt.Sprintf("heavyhex-%dx%d", rows, width),
 		Kind:    KindHeavyHex,
 		G:       g,
@@ -129,6 +129,7 @@ func HeavyHex(rows, width int) *Arch {
 		Path:    path,
 		OffPath: offPath,
 	}
+	return a.seal()
 }
 
 // HeavyHexN returns a heavy-hex architecture with at least n qubits and a

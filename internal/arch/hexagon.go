@@ -51,13 +51,14 @@ func Hexagon(rows, cols int) *Arch {
 	}
 	// No Hamiltonian snake is recorded: the brick-wall lattice admits one
 	// only with per-pair detours that the structured ATA never needs.
-	return &Arch{
+	a := &Arch{
 		Name:   fmt.Sprintf("hexagon-%dx%d", rows, cols),
 		Kind:   KindHexagon,
 		G:      g,
 		Coords: coords,
 		Units:  units,
 	}
+	return a.seal()
 }
 
 // HexagonN returns a near-square hexagon architecture with at least n qubits.

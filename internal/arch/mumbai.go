@@ -46,7 +46,7 @@ func Mumbai() *Arch {
 	for q := range coords {
 		coords[q] = Coord{Row: 0, Col: q}
 	}
-	return &Arch{
+	a := &Arch{
 		Name:    "ibmq-mumbai",
 		Kind:    KindHeavyHex,
 		G:       g,
@@ -54,6 +54,7 @@ func Mumbai() *Arch {
 		Path:    p,
 		OffPath: off,
 	}
+	return a.seal()
 }
 
 // longestPathSearch finds a longest simple path by depth-first search with

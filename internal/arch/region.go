@@ -119,20 +119,25 @@ func (r Region) Size() int {
 }
 
 // unitIndex returns, for every physical qubit, its unit index and position
-// within the unit (-1, -1 for qubits outside any unit).
+// within the unit (-1, -1 for qubits outside any unit). The slices are
+// computed once per Arch and shared — callers must treat them as read-only.
+// Region detection and the snake restriction run once per hybrid prediction,
+// so rebuilding the index there was a measurable per-checkpoint cost.
 func (a *Arch) unitIndex() (unitOf, posOf []int) {
-	unitOf = make([]int, a.N())
-	posOf = make([]int, a.N())
-	for i := range unitOf {
-		unitOf[i], posOf[i] = -1, -1
-	}
-	for u, qs := range a.Units {
-		for p, q := range qs {
-			unitOf[q] = u
-			posOf[q] = p
+	a.unitOnce.Do(func() {
+		a.unitOf = make([]int, a.N())
+		a.posOf = make([]int, a.N())
+		for i := range a.unitOf {
+			a.unitOf[i], a.posOf[i] = -1, -1
 		}
-	}
-	return unitOf, posOf
+		for u, qs := range a.Units {
+			for p, q := range qs {
+				a.unitOf[q] = u
+				a.posOf[q] = p
+			}
+		}
+	})
+	return a.unitOf, a.posOf
 }
 
 // UnitIndex exposes unitIndex for other packages.

@@ -45,13 +45,14 @@ func Sycamore(rows, cols int) *Arch {
 			units[r][c] = id(r, c)
 		}
 	}
-	return &Arch{
+	a := &Arch{
 		Name:   fmt.Sprintf("sycamore-%dx%d", rows, cols),
 		Kind:   KindSycamore,
 		G:      g,
 		Coords: coords,
 		Units:  units,
 	}
+	return a.seal()
 }
 
 // SycamoreN returns a near-square Sycamore with at least n qubits.

@@ -75,7 +75,7 @@ type Stats struct {
 
 // CompileWith compiles problem on a with the named method and measures it.
 func CompileWith(method string, a *arch.Arch, p *graph.Graph, nm *noise.Model) (Stats, error) {
-	return CompileWithDeadline(method, a, p, nm, 0)
+	return CompileWithOptions(method, a, p, nm, 0, 0)
 }
 
 // CompileWithDeadline is CompileWith under a per-compile wall-clock budget
@@ -83,6 +83,13 @@ func CompileWith(method string, a *arch.Arch, p *graph.Graph, nm *noise.Model) (
 // structured ATA fallback when the budget expires — Stats.Degraded reports
 // it; the baseline reimplementations are not governed and ignore it.
 func CompileWithDeadline(method string, a *arch.Arch, p *graph.Graph, nm *noise.Model, deadline time.Duration) (Stats, error) {
+	return CompileWithOptions(method, a, p, nm, deadline, 0)
+}
+
+// CompileWithOptions is CompileWithDeadline with an explicit worker count
+// for the hybrid prediction loop (0 = GOMAXPROCS default, 1 = serial).
+// Workers never change the measured circuit — only Seconds.
+func CompileWithOptions(method string, a *arch.Arch, p *graph.Graph, nm *noise.Model, deadline time.Duration, workers int) (Stats, error) {
 	start := time.Now()
 	var (
 		m        core.Metrics
@@ -99,7 +106,7 @@ func CompileWithDeadline(method string, a *arch.Arch, p *graph.Graph, nm *noise.
 			mode = core.ModeATA
 		}
 		var res *core.Result
-		res, err = core.Compile(a, p, core.Options{Mode: mode, Noise: nm, Deadline: deadline})
+		res, err = core.Compile(a, p, core.Options{Mode: mode, Noise: nm, Deadline: deadline, Workers: workers})
 		if err == nil {
 			m = res.Metrics
 			degraded = res.Degraded
@@ -193,9 +200,9 @@ func RegularWorkload(n int, density float64, trials int, seed int64) Workload {
 
 // averageStats compiles every graph of a workload with a method and
 // averages the measurements, honoring a per-compile deadline (0 =
-// unbounded). Trials run concurrently (they are independent
-// single-threaded compilations), bounded by GOMAXPROCS.
-func averageStats(method string, a *arch.Arch, w Workload, nm *noise.Model, deadline time.Duration) (Stats, error) {
+// unbounded) and a per-compile worker count. Trials run concurrently (they
+// are independent compilations), bounded by GOMAXPROCS.
+func averageStats(method string, a *arch.Arch, w Workload, nm *noise.Model, deadline time.Duration, workers int) (Stats, error) {
 	// Force the lazy all-pairs distance cache before fanning out: the
 	// architecture is shared across goroutines and must be read-only.
 	a.Distances()
@@ -209,7 +216,7 @@ func averageStats(method string, a *arch.Arch, w Workload, nm *noise.Model, dead
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = CompileWithDeadline(method, a, g, nm, deadline)
+			results[i], errs[i] = CompileWithOptions(method, a, g, nm, deadline, workers)
 		}(i, g)
 	}
 	wg.Wait()

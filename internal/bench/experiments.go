@@ -27,6 +27,10 @@ type Config struct {
 	// than failing the experiment; Stats.Degraded records it. The baseline
 	// reimplementations are not governed.
 	Deadline time.Duration
+	// Workers is passed to the governed compiles' hybrid prediction loop
+	// (0 = runtime.GOMAXPROCS(0), 1 = serial). Output metrics are identical
+	// for every worker count; it only changes compile wall-clock.
+	Workers int
 }
 
 // DefaultConfig returns the full-scale configuration.
@@ -80,7 +84,7 @@ func RunFig17(cfg Config) (*Report, error) {
 				var depths, cxs []float64
 				var base Stats
 				for i, method := range []string{MethodGreedy, MethodSolver, MethodOurs} {
-					s, err := averageStats(method, a, w, nil, cfg.Deadline)
+					s, err := averageStats(method, a, w, nil, cfg.Deadline, cfg.Workers)
 					if err != nil {
 						return nil, err
 					}
@@ -130,7 +134,7 @@ func RunDepthGate(cfg Config, family string) (*Report, error) {
 				row := []string{w.Name}
 				var dvals, cvals []string
 				for _, method := range []string{MethodOurs, MethodQAIM, MethodPaulihedral} {
-					s, err := averageStats(method, a, w, nil, cfg.Deadline)
+					s, err := averageStats(method, a, w, nil, cfg.Deadline, cfg.Workers)
 					if err != nil {
 						return nil, err
 					}
@@ -168,17 +172,17 @@ func RunTable1(cfg Config) (*Report, error) {
 					return nil, err
 				}
 				w := RandomWorkload(n, density, cfg.trialsFor(n), cfg.Seed)
-				ours, err := averageStats(MethodOurs, a, w, nil, cfg.Deadline)
+				ours, err := averageStats(MethodOurs, a, w, nil, cfg.Deadline, cfg.Workers)
 				if err != nil {
 					return nil, err
 				}
-				qaim, err := averageStats(MethodQAIM, a, w, nil, cfg.Deadline)
+				qaim, err := averageStats(MethodQAIM, a, w, nil, cfg.Deadline, cfg.Workers)
 				if err != nil {
 					return nil, err
 				}
 				d2, c2 := "-", "-"
 				if n <= twoQANLimit {
-					tq, err := averageStats(Method2QAN, a, w, nil, cfg.Deadline)
+					tq, err := averageStats(Method2QAN, a, w, nil, cfg.Deadline, cfg.Workers)
 					if err != nil {
 						return nil, err
 					}
@@ -229,11 +233,11 @@ func RunTable2(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		for _, w := range workloads {
-			ours, err := averageStats(MethodOurs, a, w, nil, cfg.Deadline)
+			ours, err := averageStats(MethodOurs, a, w, nil, cfg.Deadline, cfg.Workers)
 			if err != nil {
 				return nil, err
 			}
-			pauli, err := averageStats(MethodPaulihedral, a, w, nil, cfg.Deadline)
+			pauli, err := averageStats(MethodPaulihedral, a, w, nil, cfg.Deadline, cfg.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -309,7 +313,7 @@ func RunTable4(cfg Config) (*Report, error) {
 		p := graph.GnpConnected(in.n, in.den, rng)
 		a := arch.GridN(in.n)
 		t0 := time.Now()
-		res, err := core.Compile(a, p, core.Options{Mode: core.ModeHybrid, Deadline: cfg.Deadline})
+		res, err := core.Compile(a, p, core.Options{Mode: core.ModeHybrid, Deadline: cfg.Deadline, Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}

@@ -19,7 +19,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"runtime/debug"
+	"sort"
 	"time"
 
 	"github.com/ata-pattern/ataqc/internal/arch"
@@ -66,6 +68,17 @@ type Options struct {
 	// deadline. It is the deterministic twin of Deadline — useful in tests
 	// and anywhere wall-clock budgets would flake.
 	MaxNodes int
+	// Workers bounds the concurrency of the hybrid prediction loop: each
+	// greedy checkpoint's ATA prediction is independent, so they fan out
+	// over a worker pool sharing a memoised pattern cache
+	// (internal/swapnet.PatternCache). 0 defaults to runtime.GOMAXPROCS(0);
+	// 1 keeps the original serial loop. The compiled circuit, Stats (except
+	// Elapsed), and selected candidate are byte-identical for every worker
+	// count when the budget is unbounded — workers only change wall-clock.
+	// Under an exhausting budget the parallel pool truncates the candidate
+	// set it evaluated (the degradation ladder is preserved, but which
+	// candidates were scored before exhaustion is timing-dependent).
+	Workers int
 }
 
 // Mode selects between the full hybrid framework and its ablations.
@@ -117,6 +130,16 @@ type Stats struct {
 	// ModeHybrid.
 	Checkpoints int
 	Predictions int
+	// SelectedPrefix is the greedy-gate prefix length of the winning hybrid
+	// candidate (0 = the pure-ATA candidate); -1 when pure greedy won or
+	// the mode ran no selector. It identifies the selected checkpoint, so
+	// determinism tests can pin the selection, not just the output bytes.
+	SelectedPrefix int
+	// CacheHits/CacheMisses report pattern-cache effectiveness for the
+	// parallel prediction engine (both zero in the Workers=1 serial path,
+	// which runs uncached).
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // Result is a compiled circuit plus provenance.
@@ -181,6 +204,9 @@ func CompileContext(ctx context.Context, a *arch.Arch, problem *graph.Graph, opt
 	if opts.MaxPredictions == 0 {
 		opts.MaxPredictions = 48
 	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
 	bud := newBudget(ctx, start, opts)
 	initial := opts.InitialMapping
 	if initial == nil {
@@ -224,7 +250,7 @@ func CompileContext(ctx context.Context, a *arch.Arch, problem *graph.Graph, opt
 	if err != nil {
 		return nil, err
 	}
-	res.Stats.WorkUnits = bud.nodes
+	res.Stats.WorkUnits = bud.spent()
 	res.Metrics = Measure(res.Circuit, opts.Noise)
 	// Static verification (internal/verify): the error-severity analyzers
 	// are the compiler's output contract — a circuit that fails them is a
@@ -304,7 +330,9 @@ func compileGreedy(a *arch.Arch, problem *graph.Graph, initial []int, opts Optio
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Circuit: g.Circuit, Initial: g.Initial, Final: g.Final, Source: "greedy"}, nil
+	res := &Result{Circuit: g.Circuit, Initial: g.Initial, Final: g.Final, Source: "greedy"}
+	res.Stats.SelectedPrefix = -1
+	return res, nil
 }
 
 func compileATA(a *arch.Arch, problem *graph.Graph, initial []int, opts Options) (*Result, error) {
@@ -313,22 +341,33 @@ func compileATA(a *arch.Arch, problem *graph.Graph, initial []int, opts Options)
 	if err := runATARegions(st, b, opts.Angle); err != nil {
 		return nil, err
 	}
-	return &Result{Circuit: b.C, Initial: b.InitialMapping(), Final: b.CurrentMapping(), Source: "ata"}, nil
+	res := &Result{Circuit: b.C, Initial: b.InitialMapping(), Final: b.CurrentMapping(), Source: "ata"}
+	res.Stats.SelectedPrefix = -1
+	return res, nil
 }
 
 // runATARegions detects the interaction regions of the remaining problem
 // (§6.3) and runs the structured pattern inside each, appending to b.
 func runATARegions(st *swapnet.State, b *circuit.Builder, angle float64) error {
-	regions := detectRegions(st)
+	return runATARegionsCached(st, b, angle, nil)
+}
+
+// runATARegionsCached is runATARegions through a pattern cache (nil =
+// uncached) — the parallel hybrid engine shares one cache between its
+// prediction workers and the final materialisation, so the winning
+// candidate's ATA suffix replays the dual-prediction choices it already
+// scored instead of recomputing them.
+func runATARegionsCached(st *swapnet.State, b *circuit.Builder, angle float64, c *swapnet.PatternCache) error {
+	regions := detectRegions(st, c)
 	for _, r := range regions {
-		if err := swapnet.ATA(st, r, builderEmit(b, angle)); err != nil {
+		if err := swapnet.ATAWithCache(st, r, builderEmit(b, angle), c); err != nil {
 			return err
 		}
 	}
 	if !st.Want.Empty() {
 		// Regions are merged when overlapping, so this indicates a pattern
 		// gap; fall back to one full-architecture pass.
-		if err := swapnet.ATA(st, arch.FullRegion(st.A), builderEmit(b, angle)); err != nil {
+		if err := swapnet.ATAWithCache(st, arch.FullRegion(st.A), builderEmit(b, angle), c); err != nil {
 			return err
 		}
 	}
@@ -360,8 +399,17 @@ func builderEmit(b *circuit.Builder, angle float64) swapnet.EmitFunc {
 
 // detectRegions finds the disjoint connected components of the remaining
 // problem graph, maps each to its enclosing architecture region, and merges
-// overlapping regions (§6.3, Fig 19).
-func detectRegions(st *swapnet.State) []arch.Region {
+// overlapping regions (§6.3, Fig 19). Regions are returned in a canonical
+// sorted order: component discovery iterates a map, and the emission order
+// is observable (the snake fallback of a grid region can touch qubits
+// outside the region), so without the sort two identical compilations could
+// emit different — equally valid — circuits. A non-nil cache memoises the
+// NormalizeRegion calls.
+func detectRegions(st *swapnet.State, c *swapnet.PatternCache) []arch.Region {
+	normalize := swapnet.NormalizeRegion
+	if c != nil {
+		normalize = c.NormalizeRegion
+	}
 	edges := st.Want.Edges()
 	if len(edges) == 0 {
 		return nil
@@ -377,15 +425,16 @@ func detectRegions(st *swapnet.State) []arch.Region {
 	}
 	var regions []arch.Region
 	for _, phys := range compPhys {
-		regions = append(regions, swapnet.NormalizeRegion(st.A, arch.EnclosingRegion(st.A, phys)))
+		regions = append(regions, normalize(st.A, arch.EnclosingRegion(st.A, phys)))
 	}
+	sortRegions(regions)
 	// Merge overlaps to a fixpoint.
 	for {
 		merged := false
 		for i := 0; i < len(regions) && !merged; i++ {
 			for j := i + 1; j < len(regions); j++ {
 				if regions[i].Overlaps(regions[j]) {
-					regions[i] = swapnet.NormalizeRegion(st.A, regions[i].Union(regions[j]))
+					regions[i] = normalize(st.A, regions[i].Union(regions[j]))
 					regions = append(regions[:j], regions[j+1:]...)
 					merged = true
 					break
@@ -393,7 +442,36 @@ func detectRegions(st *swapnet.State) []arch.Region {
 			}
 		}
 		if !merged {
+			sortRegions(regions)
 			return regions
 		}
 	}
+}
+
+// sortRegions orders regions lexicographically over their coordinates —
+// any total order works; this one keeps unit-space regions grouped before
+// path-space ones.
+func sortRegions(regions []arch.Region) {
+	sort.Slice(regions, func(i, j int) bool {
+		a, b := regions[i], regions[j]
+		if a.UsesPath != b.UsesPath {
+			return !a.UsesPath
+		}
+		if a.U0 != b.U0 {
+			return a.U0 < b.U0
+		}
+		if a.U1 != b.U1 {
+			return a.U1 < b.U1
+		}
+		if a.P0 != b.P0 {
+			return a.P0 < b.P0
+		}
+		if a.P1 != b.P1 {
+			return a.P1 < b.P1
+		}
+		if a.I0 != b.I0 {
+			return a.I0 < b.I0
+		}
+		return a.I1 < b.I1
+	})
 }

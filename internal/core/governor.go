@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"github.com/ata-pattern/ataqc/internal/greedy"
@@ -25,11 +26,15 @@ var ErrInternal = errors.New("core: internal compiler error")
 // budget, and the Options.MaxNodes work budget. All checks are pull-based:
 // the governed loops call spend/interrupt at coarse checkpoints, so an
 // unbounded budget adds no overhead beyond a few comparisons per cycle.
+// The node counter is atomic so the hybrid compiler's concurrent prediction
+// workers can charge one shared budget: exhaustion observed by any worker
+// cancels the rest of the fan-out while the completed candidates remain
+// usable (the best-so-far rung of the degradation ladder).
 type budget struct {
 	ctx      context.Context
 	deadline time.Time // zero when unbounded
 	maxNodes int64     // 0 = unbounded
-	nodes    int64
+	nodes    atomic.Int64
 }
 
 func newBudget(ctx context.Context, start time.Time, opts Options) *budget {
@@ -48,13 +53,17 @@ func newBudget(ctx context.Context, start time.Time, opts Options) *budget {
 // wrapping error for wall-clock exhaustion, ErrBudgetExhausted for the node
 // budget.
 func (b *budget) spend(n int) error {
-	b.nodes += int64(n)
+	b.nodes.Add(int64(n))
 	return b.interrupt()
 }
 
 // charge records n work units without checking limits — callers that poll
-// via interrupt at loop heads use it to account for completed work.
-func (b *budget) charge(n int) { b.nodes += int64(n) }
+// via interrupt at loop heads use it to account for completed work. Safe
+// from concurrent workers.
+func (b *budget) charge(n int) { b.nodes.Add(int64(n)) }
+
+// spent returns the work units charged so far.
+func (b *budget) spent() int64 { return b.nodes.Load() }
 
 // interrupt checks the limits without charging work.
 func (b *budget) interrupt() error {
@@ -64,8 +73,8 @@ func (b *budget) interrupt() error {
 	if !b.deadline.IsZero() && time.Now().After(b.deadline) {
 		return fmt.Errorf("core: compile deadline passed: %w", context.DeadlineExceeded)
 	}
-	if b.maxNodes > 0 && b.nodes > b.maxNodes {
-		return fmt.Errorf("%w (%d work units > %d)", ErrBudgetExhausted, b.nodes, b.maxNodes)
+	if n := b.nodes.Load(); b.maxNodes > 0 && n > b.maxNodes {
+		return fmt.Errorf("%w (%d work units > %d)", ErrBudgetExhausted, n, b.maxNodes)
 	}
 	return nil
 }

@@ -82,54 +82,43 @@ func compileHybrid(a *arch.Arch, problem *graph.Graph, initial []int, opts Optio
 	// The loop is governed: the budget is polled before every checkpoint and
 	// charged with each prediction's pattern cycles. Exhaustion mid-loop
 	// keeps whatever candidates were scored — the "best candidate recorded
-	// so far" rung of the degradation ladder.
-	type candidate struct {
-		cp     checkpoint
-		f      float64
-		hybrid bool
+	// so far" rung of the degradation ladder. Workers=1 runs the original
+	// serial loop uncached; Workers>1 fans the predictions over a pool
+	// sharing a pattern cache (parallel.go) with identical scores and
+	// tie-breaks, so the selected candidate — and the output circuit — are
+	// the same for any worker count under an unbounded budget.
+	h := &hybridEval{
+		a: a, problem: problem, opts: opts, bud: bud, gates: gates,
+		cxPre: cxPre, lfPre: lfPre, oCycles: oCycles, oCX: oCX, oLF: oLF,
 	}
-	stats := Stats{Checkpoints: len(cps)}
-	degradeReason := ""
-	bestF := 1.0 // pure greedy: fD/oD = 1 and fidelity ratio = 1
-	var best *candidate
-	for i := range cps {
-		if berr := bud.interrupt(); berr != nil {
-			if !degradable(berr) {
-				return nil, berr
-			}
-			degradeReason = fmt.Sprintf(
-				"prediction budget exhausted after %d/%d checkpoints (%v); selected best candidate so far",
-				i, len(cps), berr)
-			break
-		}
-		cp := cps[i]
-		want := remainingAfterPrefix(problem, gates[:cp.prefixLen])
-		if want.Empty() {
-			continue
-		}
-		st := swapnet.NewStateFromMapping(a, cp.l2p, want)
-		pc, perr := predictATA(st, opts)
-		if perr != nil {
-			continue
-		}
-		stats.Predictions++
-		bud.charge(pc.cycles)
-		cycles := cp.cycle + pc.cycles
-		cx := cxPre[cp.prefixLen] + pc.cx
-		lf := lfPre[cp.prefixLen] + pc.logFid
-		f := selectorCost(opts, cycles, oCycles, cx, oCX, lf, oLF)
-		if f < bestF {
-			bestF = f
-			best = &candidate{cp: cp, f: f, hybrid: true}
-		}
+	stats := Stats{Checkpoints: len(cps), SelectedPrefix: -1}
+	var (
+		best          *candidate
+		degradeReason string
+		cache         *swapnet.PatternCache
+	)
+	if opts.Workers > 1 {
+		cache = swapnet.NewPatternCache(0)
+		best, degradeReason, err = h.predictParallel(cps, &stats, cache)
+	} else {
+		best, degradeReason, err = h.predictSerial(cps, &stats)
+	}
+	if err != nil {
+		return nil, err
 	}
 
 	if best == nil {
+		finishCacheStats(&stats, cache)
 		return &Result{Circuit: g.Circuit, Initial: g.Initial, Final: g.Final, Source: "greedy",
 			Degraded: degradeReason != "", DegradeReason: degradeReason, Stats: stats}, nil
 	}
+	stats.SelectedPrefix = best.cp.prefixLen
 
 	// --- Materialise the winning greedy-prefix + ATA-suffix circuit. ---
+	// The parallel engine's cache flows into materialisation: the winning
+	// candidate's grid pattern choices were memoised while it was scored, so
+	// the ATA suffix replays the recorded decisions instead of re-running
+	// the dual prediction.
 	b := circuit.NewBuilder(a, problem.N(), initial)
 	for _, gt := range gates[:best.cp.prefixLen] {
 		switch gt.Kind {
@@ -147,15 +136,100 @@ func compileHybrid(a *arch.Arch, problem *graph.Graph, initial []int, opts Optio
 	}
 	want := remainingAfterPrefix(problem, gates[:best.cp.prefixLen])
 	st := swapnet.NewStateFromMapping(a, best.cp.l2p, want)
-	if err := runATARegions(st, b, opts.Angle); err != nil {
+	if err := runATARegionsCached(st, b, opts.Angle, cache); err != nil {
 		return nil, err
 	}
+	finishCacheStats(&stats, cache)
 	source := "ata"
 	if best.cp.prefixLen > 0 {
 		source = "hybrid"
 	}
 	return &Result{Circuit: b.C, Initial: b.InitialMapping(), Final: b.CurrentMapping(), Source: source,
 		Degraded: degradeReason != "", DegradeReason: degradeReason, Stats: stats}, nil
+}
+
+// candidate is a scored selector entry: a checkpoint and its cost F.
+type candidate struct {
+	cp checkpoint
+	f  float64
+}
+
+// hybridEval carries the selector context shared by the serial and parallel
+// prediction engines: the greedy baseline metrics and the prefix sums that
+// make per-checkpoint scoring O(prediction).
+type hybridEval struct {
+	a       *arch.Arch
+	problem *graph.Graph
+	opts    Options
+	bud     *budget
+	gates   []circuit.Gate
+	cxPre   []int
+	lfPre   []float64
+	oCycles int
+	oCX     int
+	oLF     float64
+}
+
+// scoreCheckpoint runs one ATA prediction from cp's mapping over want and
+// returns the selector cost F (§6.4), charging the budget with the
+// prediction's pattern cycles. ok=false means the pattern declined the
+// region (the checkpoint is skipped, matching the historical serial loop).
+// The score is independent of the cache's state: a cached grid choice
+// replays the same pattern the uncached dual prediction would pick.
+func (h *hybridEval) scoreCheckpoint(cp checkpoint, want *swapnet.EdgeSet, c *swapnet.PatternCache) (f float64, ok bool) {
+	st := swapnet.NewStateFromMapping(h.a, cp.l2p, want)
+	pc, err := predictATA(st, h.opts, c)
+	if err != nil {
+		return 0, false
+	}
+	h.bud.charge(pc.cycles)
+	cycles := cp.cycle + pc.cycles
+	cx := h.cxPre[cp.prefixLen] + pc.cx
+	lf := h.lfPre[cp.prefixLen] + pc.logFid
+	return selectorCost(h.opts, cycles, h.oCycles, cx, h.oCX, lf, h.oLF), true
+}
+
+// predictSerial is the Workers=1 engine: the original governed loop,
+// uncached, evaluating checkpoints in order. It doubles as the reference
+// the determinism suite compares the parallel engine against.
+func (h *hybridEval) predictSerial(cps []checkpoint, stats *Stats) (best *candidate, degradeReason string, err error) {
+	bestF := 1.0 // pure greedy: fD/oD = 1 and fidelity ratio = 1
+	for i := range cps {
+		if berr := h.bud.interrupt(); berr != nil {
+			if !degradable(berr) {
+				return nil, "", berr
+			}
+			degradeReason = fmt.Sprintf(
+				"prediction budget exhausted after %d/%d checkpoints (%v); selected best candidate so far",
+				i, len(cps), berr)
+			break
+		}
+		cp := cps[i]
+		want := remainingAfterPrefix(h.problem, h.gates[:cp.prefixLen])
+		if want.Empty() {
+			continue
+		}
+		f, ok := h.scoreCheckpoint(cp, want, nil)
+		if !ok {
+			continue
+		}
+		stats.Predictions++
+		if f < bestF {
+			bestF = f
+			best = &candidate{cp: cp, f: f}
+		}
+	}
+	return best, degradeReason, nil
+}
+
+// finishCacheStats copies the pattern cache counters onto the stats (nil
+// cache = serial path, counters stay zero).
+func finishCacheStats(stats *Stats, c *swapnet.PatternCache) {
+	if c == nil {
+		return
+	}
+	cs := c.Stats()
+	stats.CacheHits, stats.CacheMisses = cs.Hits, cs.Misses
 }
 
 // remainingAfterPrefix returns the problem edges not scheduled within the
@@ -179,12 +253,12 @@ type prediction struct {
 	logFid float64
 }
 
-func predictATA(st *swapnet.State, opts Options) (prediction, error) {
+func predictATA(st *swapnet.State, opts Options, c *swapnet.PatternCache) (prediction, error) {
 	var out prediction
-	for _, r := range detectRegions(st) {
+	for _, r := range detectRegions(st, c) {
 		var cnt predictCounter
 		cnt.opts = &opts
-		if err := swapnet.ATA(st, r, cnt.emit); err != nil {
+		if err := swapnet.ATAWithCache(st, r, cnt.emit, c); err != nil {
 			return out, err
 		}
 		if cnt.cycles > out.cycles {
@@ -196,7 +270,7 @@ func predictATA(st *swapnet.State, opts Options) (prediction, error) {
 	if !st.Want.Empty() {
 		var cnt predictCounter
 		cnt.opts = &opts
-		if err := swapnet.ATA(st, arch.FullRegion(st.A), cnt.emit); err != nil {
+		if err := swapnet.ATAWithCache(st, arch.FullRegion(st.A), cnt.emit, c); err != nil {
 			return out, err
 		}
 		out.cycles += cnt.cycles

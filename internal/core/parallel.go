@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/ata-pattern/ataqc/internal/circuit"
+	"github.com/ata-pattern/ataqc/internal/swapnet"
+)
+
+// predictParallel is the Workers>1 engine of the hybrid prediction loop:
+// every checkpoint's ATA prediction is independent (each works on its own
+// State clone), so they fan out over a bounded worker pool sharing one
+// pattern cache. Determinism is by construction:
+//
+//   - each job's score lands in an index-addressed slot, and selection
+//     scans slots in ascending checkpoint order with the same strict-less
+//     comparison as the serial loop, so ties break identically;
+//   - scores themselves are cache-independent — a cached grid choice
+//     replays exactly the pattern the uncached dual prediction picks;
+//   - budget charges are commutative atomic adds, so the WorkUnits total
+//     matches the serial loop whenever every checkpoint is evaluated.
+//
+// Under an exhausting budget the first worker to observe exhaustion stops
+// the fan-out; completed scores still participate in selection (the "best
+// candidate so far" rung of the degradation ladder), mirroring the serial
+// loop's truncation. Non-degradable interruption (context cancellation)
+// aborts with the error after every worker has exited — the pool never
+// leaks goroutines.
+func (h *hybridEval) predictParallel(cps []checkpoint, stats *Stats, cache *swapnet.PatternCache) (best *candidate, degradeReason string, err error) {
+	if berr := h.bud.interrupt(); berr != nil {
+		if !degradable(berr) {
+			return nil, "", berr
+		}
+		return nil, fmt.Sprintf(
+			"prediction budget exhausted after 0/%d checkpoints (%v); selected best candidate so far",
+			len(cps), berr), nil
+	}
+
+	// Incremental want-set precomputation: checkpoints arrive in ascending
+	// prefix order, so each want set is the previous one minus the program
+	// gates of the prefix delta — O(M + |gates|) total instead of
+	// O(checkpoints · |gates|) repeated prefix scans.
+	type job struct {
+		cp   checkpoint
+		want *swapnet.EdgeSet
+	}
+	var jobs []job
+	want := swapnet.NewEdgeSet(h.problem)
+	prev := 0
+	for _, cp := range cps {
+		for _, g := range h.gates[prev:cp.prefixLen] {
+			if g.Kind == circuit.GateZZ || g.Kind == circuit.GateZZSwap {
+				want.Remove(g.Tag)
+			}
+		}
+		prev = cp.prefixLen
+		if want.Empty() {
+			continue
+		}
+		jobs = append(jobs, job{cp: cp, want: want.Clone()})
+	}
+	if len(jobs) == 0 {
+		return nil, "", nil
+	}
+
+	scores := make([]float64, len(jobs))
+	scored := make([]bool, len(jobs))
+
+	workers := h.opts.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var (
+		wg       sync.WaitGroup
+		stopOnce sync.Once
+		mu       sync.Mutex
+		firstErr error
+	)
+	stop := make(chan struct{})
+	jobCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobCh {
+				if berr := h.bud.interrupt(); berr != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = berr
+					}
+					mu.Unlock()
+					stopOnce.Do(func() { close(stop) })
+					return
+				}
+				f, ok := h.scoreCheckpoint(jobs[i].cp, jobs[i].want, cache)
+				scores[i], scored[i] = f, ok
+			}
+		}()
+	}
+feed:
+	for i := range jobs {
+		select {
+		case jobCh <- i:
+		case <-stop:
+			break feed
+		}
+	}
+	close(jobCh)
+	wg.Wait()
+
+	// Selection: ascending checkpoint order, strict-less — byte-identical
+	// tie-breaking with the serial loop.
+	bestF := 1.0 // pure greedy: fD/oD = 1 and fidelity ratio = 1
+	for i := range jobs {
+		if !scored[i] {
+			continue
+		}
+		stats.Predictions++
+		if scores[i] < bestF {
+			bestF = scores[i]
+			best = &candidate{cp: jobs[i].cp, f: scores[i]}
+		}
+	}
+	if firstErr != nil {
+		if !degradable(firstErr) {
+			return nil, "", firstErr
+		}
+		degradeReason = fmt.Sprintf(
+			"prediction budget exhausted after %d/%d checkpoints (%v); selected best candidate so far",
+			stats.Predictions, len(cps), firstErr)
+	}
+	return best, degradeReason, nil
+}

@@ -43,8 +43,12 @@ func regionUnits(a *arch.Arch, r arch.Region) [][]int {
 //
 // Total cycle depth is O(R*C) = O(n), about 25% below the separate-phase
 // variant — the Appendix A depth saving.
-func gridATA(st *State, region arch.Region, emit EmitFunc) {
-	units := regionUnits(st.A, region)
+//
+// The cache parameter (nil = compute directly) memoises the region's unit
+// segments so repeated predictions over the same region skip the
+// decomposition.
+func gridATA(st *State, region arch.Region, emit EmitFunc, c *PatternCache) {
+	units := cachedRegionUnits(st.A, region, c)
 	if len(units) == 0 {
 		return
 	}
@@ -87,8 +91,18 @@ func gridATA(st *State, region arch.Region, emit EmitFunc) {
 	if !sc.done() {
 		// Residual intra-unit pairs (short regions can finish the
 		// unit-level rounds before every row fully mixes).
-		linear(st, regionUnits(st.A, region), linearOpts{sc: sc}, emit)
+		linear(st, cachedRegionUnits(st.A, region, c), linearOpts{sc: sc}, emit)
 	}
+}
+
+// cachedRegionUnits returns the region's unit segments through the cache
+// when one is supplied. The cached slices alias Arch.Units and are
+// read-only.
+func cachedRegionUnits(a *arch.Arch, region arch.Region, c *PatternCache) [][]int {
+	if c != nil {
+		return c.structural(a, region).units
+	}
+	return regionUnits(a, region)
 }
 
 // bipartiteGrid runs the 2xUnit bipartite pattern of Fig 8/9 on every row
@@ -165,33 +179,25 @@ func bipartiteGrid(st *State, units [][]int, pairs [][2]int, sc *scope, emit Emi
 // snakeATA runs the linear pattern over the architecture's Hamiltonian
 // snake — the simple O(n)-depth fallback the paper's structured solutions
 // are compared against (and the solution used for the 3D lattice, whose
-// hierarchical decomposition §3.2 only sketches).
-func snakeATA(st *State, region arch.Region, emit EmitFunc) {
+// hierarchical decomposition §3.2 only sketches). The snake restricted to
+// the region rectangle stays contiguous only for some region shapes; when
+// the restriction breaks, the pattern falls back to the full snake. A
+// non-nil cache memoises the restriction per (arch, region).
+func snakeATA(st *State, region arch.Region, emit EmitFunc, c *PatternCache) {
 	snake := st.A.Snake
 	if snake == nil {
 		return
 	}
 	if !region.UsesPath && len(st.A.Units) > 0 {
-		// Restrict the snake to qubits inside the region rectangle.
-		unitOf, posOf := st.A.UnitIndex()
 		var seg []int
-		for _, q := range snake {
-			u, p := unitOf[q], posOf[q]
-			if u >= region.U0 && u <= region.U1 && p >= region.P0 && p <= region.P1 {
-				seg = append(seg, q)
-			}
+		var ok bool
+		if c != nil {
+			ri := c.structural(st.A, region)
+			seg, ok = ri.snakeSeg, ri.snakeOK
+		} else {
+			seg, ok = restrictSnake(st.A, region)
 		}
-		// The restriction of a boustrophedon snake to a sub-rectangle stays
-		// contiguous only row-by-row; validate adjacency and fall back to
-		// the full snake when broken.
-		ok := true
-		for i := 0; i+1 < len(seg); i++ {
-			if !st.A.G.HasEdge(seg[i], seg[i+1]) {
-				ok = false
-				break
-			}
-		}
-		if ok && len(seg) >= 2 {
+		if ok {
 			linear(st, [][]int{seg}, linearOpts{}, emit)
 			return
 		}

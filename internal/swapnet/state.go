@@ -195,6 +195,13 @@ func NewStateFromMapping(a *arch.Arch, l2p []int, want *EdgeSet) *State {
 	return &State{A: a, L2P: cp, P2L: p2l, Want: want}
 }
 
+// adopt replaces st's mutable contents with o's. The cached grid pattern
+// uses it to keep the winning clone's final state instead of replaying the
+// winner's swaps onto st a second time; o must not be used afterwards.
+func (st *State) adopt(o *State) {
+	st.L2P, st.P2L, st.Want = o.L2P, o.P2L, o.Want
+}
+
 // Clone returns a deep copy (used by the predictor).
 func (st *State) Clone() *State {
 	c := &State{A: st.A, Want: st.Want.Clone()}
