@@ -254,6 +254,10 @@ type Options struct {
 	// identical for every worker count under an unbounded budget; workers
 	// (and the pattern memoisation they enable) only change compile time.
 	Workers int
+	// Trace, when non-nil, records the compile's execution timeline and
+	// metrics (see NewTrace). Nil disables tracing at ~zero cost and is the
+	// default. Tracing never changes the compiled circuit.
+	Trace *Trace
 }
 
 // Result is a compiled circuit with its measurements.
@@ -266,7 +270,8 @@ type Result struct {
 	metrics       core.Metrics
 	strategy      Strategy
 	degraded      bool
-	degradeReason string
+	degradeReason core.DegradeReason
+	timeline      core.Timeline
 }
 
 // Compile schedules every interaction of the problem onto the device.
@@ -317,12 +322,14 @@ func CompileContext(ctx context.Context, dev *Device, p *Problem, opts Options) 
 			Deadline:       opts.Deadline,
 			MaxNodes:       opts.MaxNodes,
 			Workers:        opts.Workers,
+			Trace:          opts.Trace.inner(),
 		})
 		if err != nil {
 			return nil, err
 		}
 		res.circuit, res.initial, res.final, res.metrics = r.Circuit, r.Initial, r.Final, r.Metrics
 		res.degraded, res.degradeReason = r.Degraded, r.DegradeReason
+		res.timeline = r.Timeline
 	case Strategy2QAN, StrategyQAIM, StrategyPaulihedral:
 		var (
 			b   *baseline.Result
@@ -355,8 +362,9 @@ func CompileContext(ctx context.Context, dev *Device, p *Problem, opts Options) 
 func (r *Result) Degraded() bool { return r.degraded }
 
 // DegradeReason describes which budget ran out and which fallback rung
-// produced the circuit ("" when not degraded).
-func (r *Result) DegradeReason() string { return r.degradeReason }
+// produced the circuit ("" when not degraded). DegradeDetail exposes the
+// same breadcrumb structured.
+func (r *Result) DegradeReason() string { return r.degradeReason.String() }
 
 // Depth returns the compiled circuit's critical-path length after
 // decomposition into CX and single-qubit gates.

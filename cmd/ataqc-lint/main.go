@@ -21,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +42,7 @@ func run() int {
 		family   = flag.String("arch", "grid", "architecture family: line, grid, sycamore, heavy-hex, hexagon, mumbai")
 		strategy = flag.String("strategy", "hybrid", "compiler for -problem mode: hybrid, greedy, ata, 2qan, qaim, paulihedral")
 		werror   = flag.Bool("werror", false, "treat warning-severity findings as errors")
+		asJSON   = flag.Bool("json", false, "emit one JSON finding per line instead of text (the summary line moves to stderr)")
 	)
 	flag.Parse()
 
@@ -109,22 +111,40 @@ func run() int {
 	}
 
 	errs, warns := 0, 0
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
-		fmt.Println(d)
+		if *asJSON {
+			// One finding per line: {"analyzer":…,"severity":…,"gate":…,"message":…}.
+			if err := enc.Encode(struct {
+				Analyzer string `json:"analyzer"`
+				Severity string `json:"severity"`
+				Gate     int    `json:"gate"`
+				Message  string `json:"message"`
+			}{d.Analyzer, d.Severity, d.Gate, d.Message}); err != nil {
+				fmt.Fprintln(os.Stderr, "ataqc-lint:", err)
+				return 2
+			}
+		} else {
+			fmt.Println(d)
+		}
 		if d.Severity == "error" {
 			errs++
 		} else {
 			warns++
 		}
 	}
+	summary := os.Stdout
+	if *asJSON {
+		summary = os.Stderr // keep stdout pure JSONL
+	}
 	switch {
 	case errs > 0 || (*werror && warns > 0):
-		fmt.Printf("%s: %d error(s), %d warning(s)\n", label, errs, warns)
+		fmt.Fprintf(summary, "%s: %d error(s), %d warning(s)\n", label, errs, warns)
 		return 1
 	case warns > 0:
-		fmt.Printf("%s: ok, %d warning(s)\n", label, warns)
+		fmt.Fprintf(summary, "%s: ok, %d warning(s)\n", label, warns)
 	default:
-		fmt.Printf("%s: ok\n", label)
+		fmt.Fprintf(summary, "%s: ok\n", label)
 	}
 	return 0
 }

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/pprof"
+	"slices"
 
 	"github.com/ata-pattern/ataqc"
 )
@@ -39,8 +41,15 @@ func main() {
 		showSch  = flag.Bool("schedule", false, "print the compiled schedule cycle by cycle")
 		timeout  = flag.Duration("timeout", 0, "wall-clock compile budget, e.g. 30s (0 = unbounded); on expiry the compiler degrades to the linear-depth ATA fallback")
 		workers  = flag.Int("workers", 0, "hybrid prediction workers (0 = GOMAXPROCS, 1 = serial); the compiled circuit is identical for every value")
+		traceOut = flag.String("trace", "", "record the compile's execution trace to this file (tracing never changes the circuit)")
+		traceFmt = flag.String("trace-format", "chrome", "trace format: chrome (load in ui.perfetto.dev), jsonl, or text")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file; compiler phases carry ataqc_phase/ataqc_worker pprof labels")
 	)
 	flag.Parse()
+
+	if !slices.Contains(ataqc.TraceFormats, *traceFmt) {
+		log.Fatalf("unknown -trace-format %q (want one of %v)", *traceFmt, ataqc.TraceFormats)
+	}
 
 	// Flag values feed generators and device constructors that treat bad
 	// sizes as internal invariants; reject them at the user-input boundary.
@@ -105,13 +114,42 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	var tr *ataqc.Trace
+	if *traceOut != "" {
+		tr = ataqc.NewTrace()
+	}
 	res, err := ataqc.CompileContext(ctx, dev, prob, ataqc.Options{
 		Strategy:   ataqc.Strategy(*strategy),
 		NoiseAware: *noisy,
 		Workers:    *workers,
+		Trace:      tr,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteFormat(f, *traceFmt); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %s (%s)\n", *traceOut, *traceFmt)
 	}
 	if res.Degraded() {
 		fmt.Fprintf(os.Stderr, "note: compile budget ran out; degraded to the structured ATA fallback (%s)\n", res.DegradeReason())

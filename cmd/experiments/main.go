@@ -14,23 +14,45 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"github.com/ata-pattern/ataqc/internal/bench"
+	"github.com/ata-pattern/ataqc/internal/obs"
 )
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "run reduced sizes (fast)")
-		exps    = flag.String("exp", "all", "comma-separated experiment ids: fig17,fig20,fig22,table1,table2,table3,table4,tvd,fig24,fig25,fig26")
-		out     = flag.String("out", "", "write markdown to this file instead of stdout")
-		trials  = flag.Int("trials", 0, "graphs per cell (default: 10 full / 3 quick)")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		timeout = flag.Duration("timeout", 0, "per-compile wall-clock budget, e.g. 2m (0 = unbounded); expired compiles degrade to the linear-depth ATA fallback instead of failing the run")
-		workers = flag.Int("workers", 0, "hybrid prediction workers per compile (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
+		quick    = flag.Bool("quick", false, "run reduced sizes (fast)")
+		exps     = flag.String("exp", "all", "comma-separated experiment ids: fig17,fig20,fig22,table1,table2,table3,table4,tvd,fig24,fig25,fig26")
+		out      = flag.String("out", "", "write markdown to this file instead of stdout")
+		trials   = flag.Int("trials", 0, "graphs per cell (default: 10 full / 3 quick)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		timeout  = flag.Duration("timeout", 0, "per-compile wall-clock budget, e.g. 2m (0 = unbounded); expired compiles degrade to the linear-depth ATA fallback instead of failing the run")
+		workers  = flag.Int("workers", 0, "hybrid prediction workers per compile (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
+		traceOut = flag.String("trace", "", "record every governed compile's execution trace to this file (concurrent trials interleave spans)")
+		traceFmt = flag.String("trace-format", "chrome", "trace format: chrome (load in ui.perfetto.dev), jsonl, or text")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	)
 	flag.Parse()
+
+	switch *traceFmt {
+	case "chrome", "jsonl", "text":
+	default:
+		log.Fatalf("unknown -trace-format %q (want chrome, jsonl, or text)", *traceFmt)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	cfg := bench.DefaultConfig()
 	if *quick {
@@ -42,6 +64,9 @@ func main() {
 	}
 	cfg.Deadline = *timeout
 	cfg.Workers = *workers
+	if *traceOut != "" {
+		cfg.Trace = obs.New()
+	}
 	if *timeout > 0 {
 		fmt.Fprintf(os.Stderr, "per-compile deadline %s: compiles that run out of budget degrade to the structured ATA solution instead of failing the run\n", *timeout)
 	}
@@ -104,5 +129,28 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "%s done in %s\n", r.id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var werr error
+		switch *traceFmt {
+		case "chrome":
+			werr = cfg.Trace.WriteChrome(f)
+		case "jsonl":
+			werr = cfg.Trace.WriteJSONL(f)
+		default:
+			werr = cfg.Trace.WriteText(f)
+		}
+		if werr != nil {
+			log.Fatal(werr)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %s (%s)\n", *traceOut, *traceFmt)
 	}
 }

@@ -13,9 +13,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime/pprof"
 
 	"github.com/ata-pattern/ataqc/internal/arch"
 	"github.com/ata-pattern/ataqc/internal/graph"
+	"github.com/ata-pattern/ataqc/internal/obs"
 	"github.com/ata-pattern/ataqc/internal/solver"
 )
 
@@ -27,8 +30,16 @@ func main() {
 		bipartite = flag.Bool("bipartite", false, "solve the 2xUnit bipartite sub-problem instead of the clique")
 		maxNodes  = flag.Int("maxnodes", 1<<22, "search node budget")
 		timeout   = flag.Duration("timeout", 0, "wall-clock search budget, e.g. 30s (0 = unbounded)")
+		traceOut  = flag.String("trace", "", "record the search's execution trace (solver.astar span, explored/open/closed metrics) to this file")
+		traceFmt  = flag.String("trace-format", "chrome", "trace format: chrome (load in ui.perfetto.dev), jsonl, or text")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+
+	writeTrace := traceWriterFor(*traceFmt)
+	if writeTrace == nil {
+		log.Fatalf("unknown -trace-format %q (want chrome, jsonl, or text)", *traceFmt)
+	}
 
 	// Flag values reach architecture constructors that treat bad sizes as
 	// internal invariants; reject them at the user-input boundary instead.
@@ -71,7 +82,37 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	res, err := solver.SolveContext(ctx, a, p, nil, solver.Options{MaxNodes: *maxNodes})
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.New()
+	}
+	res, err := solver.SolveContext(ctx, a, p, nil, solver.Options{MaxNodes: *maxNodes, Trace: tr})
+	if *traceOut != "" {
+		// The span records the abandoned search too, so write the trace
+		// before bailing on the error.
+		f, ferr := os.Create(*traceOut)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		if werr := writeTrace(tr, f); werr != nil {
+			log.Fatal(werr)
+		}
+		if cerr := f.Close(); cerr != nil {
+			log.Fatal(cerr)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %s (%s)\n", *traceOut, *traceFmt)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,4 +130,17 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// traceWriterFor maps a -trace-format value to an exporter (nil = unknown).
+func traceWriterFor(format string) func(*obs.Trace, *os.File) error {
+	switch format {
+	case "chrome":
+		return func(t *obs.Trace, f *os.File) error { return t.WriteChrome(f) }
+	case "jsonl":
+		return func(t *obs.Trace, f *os.File) error { return t.WriteJSONL(f) }
+	case "text":
+		return func(t *obs.Trace, f *os.File) error { return t.WriteText(f) }
+	}
+	return nil
 }

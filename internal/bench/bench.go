@@ -18,6 +18,7 @@ import (
 	"github.com/ata-pattern/ataqc/internal/core"
 	"github.com/ata-pattern/ataqc/internal/graph"
 	"github.com/ata-pattern/ataqc/internal/noise"
+	"github.com/ata-pattern/ataqc/internal/obs"
 )
 
 // Report is a formatted experiment result.
@@ -68,6 +69,12 @@ type Stats struct {
 	Swaps   int
 	Seconds float64
 	LogFid  float64
+	// Phase breakdown of the governed compiles (ours/greedy/solver), from
+	// the compiler's Timeline: where Seconds went. Zero for the baseline
+	// reimplementations, which are not instrumented.
+	GreedySec      float64
+	PredictSec     float64
+	MaterializeSec float64
 	// Degraded reports that at least one underlying compile ran out of its
 	// per-compile deadline and fell back to the structured ATA solution.
 	Degraded bool
@@ -75,7 +82,7 @@ type Stats struct {
 
 // CompileWith compiles problem on a with the named method and measures it.
 func CompileWith(method string, a *arch.Arch, p *graph.Graph, nm *noise.Model) (Stats, error) {
-	return CompileWithOptions(method, a, p, nm, 0, 0)
+	return CompileWithOptions(method, a, p, nm, 0, 0, nil)
 }
 
 // CompileWithDeadline is CompileWith under a per-compile wall-clock budget
@@ -83,16 +90,18 @@ func CompileWith(method string, a *arch.Arch, p *graph.Graph, nm *noise.Model) (
 // structured ATA fallback when the budget expires — Stats.Degraded reports
 // it; the baseline reimplementations are not governed and ignore it.
 func CompileWithDeadline(method string, a *arch.Arch, p *graph.Graph, nm *noise.Model, deadline time.Duration) (Stats, error) {
-	return CompileWithOptions(method, a, p, nm, deadline, 0)
+	return CompileWithOptions(method, a, p, nm, deadline, 0, nil)
 }
 
 // CompileWithOptions is CompileWithDeadline with an explicit worker count
-// for the hybrid prediction loop (0 = GOMAXPROCS default, 1 = serial).
-// Workers never change the measured circuit — only Seconds.
-func CompileWithOptions(method string, a *arch.Arch, p *graph.Graph, nm *noise.Model, deadline time.Duration, workers int) (Stats, error) {
+// for the hybrid prediction loop (0 = GOMAXPROCS default, 1 = serial) and
+// an optional trace the governed compiles attach to (nil = untraced).
+// Neither changes the measured circuit — only Seconds.
+func CompileWithOptions(method string, a *arch.Arch, p *graph.Graph, nm *noise.Model, deadline time.Duration, workers int, tr *obs.Trace) (Stats, error) {
 	start := time.Now()
 	var (
 		m        core.Metrics
+		tl       core.Timeline
 		degraded bool
 		err      error
 	)
@@ -106,9 +115,10 @@ func CompileWithOptions(method string, a *arch.Arch, p *graph.Graph, nm *noise.M
 			mode = core.ModeATA
 		}
 		var res *core.Result
-		res, err = core.Compile(a, p, core.Options{Mode: mode, Noise: nm, Deadline: deadline, Workers: workers})
+		res, err = core.Compile(a, p, core.Options{Mode: mode, Noise: nm, Deadline: deadline, Workers: workers, Trace: tr})
 		if err == nil {
 			m = res.Metrics
+			tl = res.Timeline
 			degraded = res.Degraded
 		}
 	case MethodQAIM, MethodPaulihedral, Method2QAN:
@@ -131,13 +141,16 @@ func CompileWithOptions(method string, a *arch.Arch, p *graph.Graph, nm *noise.M
 		return Stats{}, err
 	}
 	return Stats{
-		Method:   method,
-		Depth:    m.Depth,
-		CX:       m.CXCount,
-		Swaps:    m.Swaps,
-		Seconds:  time.Since(start).Seconds(),
-		LogFid:   m.LogFidelity,
-		Degraded: degraded,
+		Method:         method,
+		Depth:          m.Depth,
+		CX:             m.CXCount,
+		Swaps:          m.Swaps,
+		Seconds:        time.Since(start).Seconds(),
+		LogFid:         m.LogFidelity,
+		GreedySec:      tl.PhaseDuration("greedy").Seconds(),
+		PredictSec:     tl.PhaseDuration("predict").Seconds(),
+		MaterializeSec: tl.PhaseDuration("materialize").Seconds(),
+		Degraded:       degraded,
 	}, nil
 }
 
@@ -200,9 +213,10 @@ func RegularWorkload(n int, density float64, trials int, seed int64) Workload {
 
 // averageStats compiles every graph of a workload with a method and
 // averages the measurements, honoring a per-compile deadline (0 =
-// unbounded) and a per-compile worker count. Trials run concurrently (they
-// are independent compilations), bounded by GOMAXPROCS.
-func averageStats(method string, a *arch.Arch, w Workload, nm *noise.Model, deadline time.Duration, workers int) (Stats, error) {
+// unbounded), a per-compile worker count, and an optional shared trace
+// (obs traces are concurrency-safe). Trials run concurrently (they are
+// independent compilations), bounded by GOMAXPROCS.
+func averageStats(method string, a *arch.Arch, w Workload, nm *noise.Model, deadline time.Duration, workers int, tr *obs.Trace) (Stats, error) {
 	// Force the lazy all-pairs distance cache before fanning out: the
 	// architecture is shared across goroutines and must be read-only.
 	a.Distances()
@@ -216,7 +230,7 @@ func averageStats(method string, a *arch.Arch, w Workload, nm *noise.Model, dead
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = CompileWithOptions(method, a, g, nm, deadline, workers)
+			results[i], errs[i] = CompileWithOptions(method, a, g, nm, deadline, workers, tr)
 		}(i, g)
 	}
 	wg.Wait()
@@ -230,6 +244,9 @@ func averageStats(method string, a *arch.Arch, w Workload, nm *noise.Model, dead
 		acc.Swaps += results[i].Swaps
 		acc.Seconds += results[i].Seconds
 		acc.LogFid += results[i].LogFid
+		acc.GreedySec += results[i].GreedySec
+		acc.PredictSec += results[i].PredictSec
+		acc.MaterializeSec += results[i].MaterializeSec
 		acc.Degraded = acc.Degraded || results[i].Degraded
 	}
 	k := len(w.Graphs)
@@ -239,5 +256,8 @@ func averageStats(method string, a *arch.Arch, w Workload, nm *noise.Model, dead
 	acc.Swaps /= k
 	acc.Seconds /= float64(k)
 	acc.LogFid /= float64(k)
+	acc.GreedySec /= float64(k)
+	acc.PredictSec /= float64(k)
+	acc.MaterializeSec /= float64(k)
 	return acc, nil
 }

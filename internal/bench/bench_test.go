@@ -161,7 +161,7 @@ func TestRunConvergenceSmoke(t *testing.T) {
 func TestAverageStatsAverages(t *testing.T) {
 	a := arch.GridN(8)
 	w := Workload{Name: "two-copies", Graphs: []*graph.Graph{graph.Path(8), graph.Path(8)}}
-	s, err := averageStats(MethodGreedy, a, w, nil, 0, 0)
+	s, err := averageStats(MethodGreedy, a, w, nil, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 	"github.com/ata-pattern/ataqc/internal/graph"
 	"github.com/ata-pattern/ataqc/internal/hamiltonian"
 	"github.com/ata-pattern/ataqc/internal/noise"
+	"github.com/ata-pattern/ataqc/internal/obs"
 	"github.com/ata-pattern/ataqc/internal/qaoa"
 	"github.com/ata-pattern/ataqc/internal/sim"
 	"github.com/ata-pattern/ataqc/internal/solver"
@@ -31,6 +32,10 @@ type Config struct {
 	// (0 = runtime.GOMAXPROCS(0), 1 = serial). Output metrics are identical
 	// for every worker count; it only changes compile wall-clock.
 	Workers int
+	// Trace, when non-nil, is attached to every governed compile of the run
+	// (obs traces are concurrency-safe; concurrent trials interleave spans).
+	// Nil leaves the compiles untraced.
+	Trace *obs.Trace
 }
 
 // DefaultConfig returns the full-scale configuration.
@@ -84,7 +89,7 @@ func RunFig17(cfg Config) (*Report, error) {
 				var depths, cxs []float64
 				var base Stats
 				for i, method := range []string{MethodGreedy, MethodSolver, MethodOurs} {
-					s, err := averageStats(method, a, w, nil, cfg.Deadline, cfg.Workers)
+					s, err := averageStats(method, a, w, nil, cfg.Deadline, cfg.Workers, cfg.Trace)
 					if err != nil {
 						return nil, err
 					}
@@ -134,7 +139,7 @@ func RunDepthGate(cfg Config, family string) (*Report, error) {
 				row := []string{w.Name}
 				var dvals, cvals []string
 				for _, method := range []string{MethodOurs, MethodQAIM, MethodPaulihedral} {
-					s, err := averageStats(method, a, w, nil, cfg.Deadline, cfg.Workers)
+					s, err := averageStats(method, a, w, nil, cfg.Deadline, cfg.Workers, cfg.Trace)
 					if err != nil {
 						return nil, err
 					}
@@ -172,17 +177,17 @@ func RunTable1(cfg Config) (*Report, error) {
 					return nil, err
 				}
 				w := RandomWorkload(n, density, cfg.trialsFor(n), cfg.Seed)
-				ours, err := averageStats(MethodOurs, a, w, nil, cfg.Deadline, cfg.Workers)
+				ours, err := averageStats(MethodOurs, a, w, nil, cfg.Deadline, cfg.Workers, cfg.Trace)
 				if err != nil {
 					return nil, err
 				}
-				qaim, err := averageStats(MethodQAIM, a, w, nil, cfg.Deadline, cfg.Workers)
+				qaim, err := averageStats(MethodQAIM, a, w, nil, cfg.Deadline, cfg.Workers, cfg.Trace)
 				if err != nil {
 					return nil, err
 				}
 				d2, c2 := "-", "-"
 				if n <= twoQANLimit {
-					tq, err := averageStats(Method2QAN, a, w, nil, cfg.Deadline, cfg.Workers)
+					tq, err := averageStats(Method2QAN, a, w, nil, cfg.Deadline, cfg.Workers, cfg.Trace)
 					if err != nil {
 						return nil, err
 					}
@@ -233,11 +238,11 @@ func RunTable2(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		for _, w := range workloads {
-			ours, err := averageStats(MethodOurs, a, w, nil, cfg.Deadline, cfg.Workers)
+			ours, err := averageStats(MethodOurs, a, w, nil, cfg.Deadline, cfg.Workers, cfg.Trace)
 			if err != nil {
 				return nil, err
 			}
-			pauli, err := averageStats(MethodPaulihedral, a, w, nil, cfg.Deadline, cfg.Workers)
+			pauli, err := averageStats(MethodPaulihedral, a, w, nil, cfg.Deadline, cfg.Workers, cfg.Trace)
 			if err != nil {
 				return nil, err
 			}
@@ -455,12 +460,14 @@ func RunConvergence(cfg Config, n int, rounds int) (*Report, error) {
 }
 
 // RunCompileTime reproduces Fig 26: compilation time vs problem size for
-// random density-0.3 graphs on heavy-hex.
+// random density-0.3 graphs on heavy-hex, with the compiler's own phase
+// breakdown (greedy scheduling / checkpoint prediction / ATA
+// materialisation) showing where the time goes.
 func RunCompileTime(cfg Config) (*Report, error) {
 	r := &Report{
 		ID:     "Fig26",
 		Title:  "Compilation time vs QAOA graph size (random 0.3, heavy-hex)",
-		Header: []string{"qubits", "compile time"},
+		Header: []string{"qubits", "compile time", "greedy", "predict", "materialize"},
 	}
 	sizes := cfg.sizes([]int{64, 128, 256, 512, 768, 1024}, []int{32, 64, 128})
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -470,11 +477,12 @@ func RunCompileTime(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		s, err := CompileWithDeadline(MethodOurs, a, p, nil, cfg.Deadline)
+		s, err := CompileWithOptions(MethodOurs, a, p, nil, cfg.Deadline, cfg.Workers, cfg.Trace)
 		if err != nil {
 			return nil, err
 		}
-		r.Rows = append(r.Rows, []string{itoa(n), secs(s.Seconds)})
+		r.Rows = append(r.Rows, []string{itoa(n), secs(s.Seconds),
+			secs(s.GreedySec), secs(s.PredictSec), secs(s.MaterializeSec)})
 	}
 	return r, nil
 }

@@ -24,9 +24,14 @@ type HybridBenchEntry struct {
 	Graph   string  `json:"graph"`
 	Workers int     `json:"workers"`
 	Seconds float64 `json:"seconds"` // best-of-Repeats wall-clock
-	Depth   int     `json:"depth"`
-	CX      int     `json:"cx"`
-	Swaps   int     `json:"swaps"`
+	// Phase breakdown of the best repeat, from the compiler's Timeline:
+	// greedy scheduling, checkpoint prediction, ATA materialisation.
+	GreedySeconds      float64 `json:"greedy_seconds"`
+	PredictSeconds     float64 `json:"predict_seconds"`
+	MaterializeSeconds float64 `json:"materialize_seconds"`
+	Depth              int     `json:"depth"`
+	CX                 int     `json:"cx"`
+	Swaps              int     `json:"swaps"`
 	// Speedup is Seconds of the workers=1 entry of the same cell divided by
 	// this entry's Seconds (1.0 for the serial entry itself).
 	Speedup float64 `json:"speedup"`
@@ -101,6 +106,9 @@ func RunHybridBench(cfg HybridBenchConfig) (*HybridBench, error) {
 					sec := time.Since(start).Seconds()
 					if rep == 0 || sec < e.Seconds {
 						e.Seconds = sec
+						e.GreedySeconds = res.Timeline.PhaseDuration("greedy").Seconds()
+						e.PredictSeconds = res.Timeline.PhaseDuration("predict").Seconds()
+						e.MaterializeSeconds = res.Timeline.PhaseDuration("materialize").Seconds()
 					}
 					m := res.Metrics
 					if rep == 0 {

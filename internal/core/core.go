@@ -29,6 +29,7 @@ import (
 	"github.com/ata-pattern/ataqc/internal/graph"
 	"github.com/ata-pattern/ataqc/internal/greedy"
 	"github.com/ata-pattern/ataqc/internal/noise"
+	"github.com/ata-pattern/ataqc/internal/obs"
 	"github.com/ata-pattern/ataqc/internal/swapnet"
 	"github.com/ata-pattern/ataqc/internal/verify"
 )
@@ -79,6 +80,14 @@ type Options struct {
 	// set it evaluated (the degradation ladder is preserved, but which
 	// candidates were scored before exhaustion is timing-dependent).
 	Workers int
+	// Trace, when non-nil, records the compile timeline (phase spans,
+	// per-checkpoint prediction tasks, cache and pool metrics) on the given
+	// trace. Nil disables tracing: every instrumentation point is a single
+	// pointer check, so the disabled path costs ~nothing (the overhead guard
+	// in core_obs_test.go holds it under 2%). Tracing never changes the
+	// compiled circuit. The trace's clock also drives the wall-clock budget
+	// and Stats.Elapsed, so tests can compile under a synthetic clock.
+	Trace *obs.Trace
 }
 
 // Mode selects between the full hybrid framework and its ablations.
@@ -162,10 +171,15 @@ type Result struct {
 	// the pure ATA solution, whose linear depth Theorem 6.1 guarantees —
 	// just not the candidate an unbounded search would have picked.
 	Degraded bool
-	// DegradeReason says which budget ran out and which rung answered.
-	DegradeReason string
+	// DegradeReason says which budget ran out and which rung answered —
+	// structured (trigger values, checkpoint index), with String() rendering
+	// the human-readable form.
+	DegradeReason DegradeReason
 	// Stats is the governance accounting for this compilation.
 	Stats Stats
+	// Timeline is the compact phase breakdown (always collected; see the
+	// type's doc).
+	Timeline Timeline
 }
 
 // Compile schedules every edge of problem onto a.
@@ -188,7 +202,11 @@ func Compile(a *arch.Arch, problem *graph.Graph, opts Options) (*Result, error) 
 // anywhere below surfaces as an ErrInternal-wrapped error (with the panic
 // value and stack) instead of unwinding into the caller.
 func CompileContext(ctx context.Context, a *arch.Arch, problem *graph.Graph, opts Options) (res *Result, err error) {
-	start := time.Now()
+	rec := newRecorder(opts.Trace)
+	// One clock read at the governance boundary: the budget's deadline
+	// checks, Stats.Elapsed, and Metrics.CompileTime all derive from this
+	// same clock and origin, so they can never disagree.
+	start := rec.clock.Now()
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil
@@ -207,7 +225,14 @@ func CompileContext(ctx context.Context, a *arch.Arch, problem *graph.Graph, opt
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
-	bud := newBudget(ctx, start, opts)
+	rec.root = rec.tr.StartSpan(nil, "compile",
+		obs.Str("mode", opts.Mode.String()),
+		obs.Int("qubits", a.N()),
+		obs.Int("edges", problem.M()),
+		obs.Int("workers", opts.Workers))
+	defer rec.root.End()
+	bud := newBudget(ctx, start, opts, rec.clock)
+	place := rec.phase("place")
 	initial := opts.InitialMapping
 	if initial == nil {
 		initial = greedy.InitialMapping(a, problem)
@@ -231,26 +256,35 @@ func CompileContext(ctx context.Context, a *arch.Arch, problem *graph.Graph, opt
 			return nil, fmt.Errorf("core: invalid initial mapping: %w", verr)
 		}
 	}
+	place.end()
 	if opts.Mode != ModeGreedy && !swapnet.HasATA(a) {
 		return nil, fmt.Errorf("core: architecture %s has no structured pattern; use ModeGreedy", a.Name)
 	}
 
 	switch opts.Mode {
 	case ModeGreedy:
-		res, err = compileGreedy(a, problem, initial, opts, bud)
+		obs.PhaseLabel(ctx, "greedy", func(context.Context) {
+			res, err = compileGreedy(a, problem, initial, opts, bud, rec)
+		})
 		if err != nil && degradable(err) && swapnet.HasATA(a) {
-			res, err = degradeToATA(a, problem, initial, opts, fmt.Errorf("greedy scheduling aborted: %w", err))
+			cause := fmt.Errorf("greedy scheduling aborted: %w", err)
+			res, err = degradeToATA(a, problem, initial, opts,
+				degradeReasonFor("pure-ata", cause, -1, 0, bud, opts, rec), rec)
 		}
 	case ModeATA:
 		// The floor of the ladder: O(n) pattern replay, never governed.
-		res, err = compileATA(a, problem, initial, opts)
+		obs.PhaseLabel(ctx, "ata", func(context.Context) {
+			res, err = compileATA(a, problem, initial, opts, rec)
+		})
 	default:
-		res, err = compileHybrid(a, problem, initial, opts, bud)
+		res, err = compileHybrid(a, problem, initial, opts, bud, rec)
 	}
 	if err != nil {
 		return nil, err
 	}
 	res.Stats.WorkUnits = bud.spent()
+	rec.tr.Metrics().Gauge("budget.work_units").Set(res.Stats.WorkUnits)
+	vp := rec.phase("verify")
 	res.Metrics = Measure(res.Circuit, opts.Noise)
 	// Static verification (internal/verify): the error-severity analyzers
 	// are the compiler's output contract — a circuit that fails them is a
@@ -276,8 +310,13 @@ func CompileContext(ctx context.Context, a *arch.Arch, problem *graph.Graph, opt
 	if vErr := verify.AsError(diags); vErr != nil {
 		return nil, fmt.Errorf("core: produced invalid circuit: %w", vErr)
 	}
-	res.Metrics.CompileTime = time.Since(start)
-	res.Stats.Elapsed = res.Metrics.CompileTime
+	vp.end()
+	rec.root.SetAttrs(obs.Str("source", res.Source), obs.Int("depth", res.Metrics.Depth))
+	elapsed := rec.clock.Now().Sub(start)
+	res.Metrics.CompileTime = elapsed
+	res.Stats.Elapsed = elapsed
+	rec.tl.Winner = res.Source
+	res.Timeline = rec.tl
 	return res, nil
 }
 
@@ -294,13 +333,13 @@ func interruptOf(bud *budget) func() error {
 // structured all-to-all pattern from the initial placement. It is
 // deterministic and O(n), so it always completes no matter how exhausted
 // the budget is, and Theorem 6.1 bounds its depth linearly.
-func degradeToATA(a *arch.Arch, problem *graph.Graph, initial []int, opts Options, cause error) (*Result, error) {
-	res, err := compileATA(a, problem, initial, opts)
+func degradeToATA(a *arch.Arch, problem *graph.Graph, initial []int, opts Options, reason DegradeReason, rec *recorder) (*Result, error) {
+	res, err := compileATA(a, problem, initial, opts, rec)
 	if err != nil {
-		return nil, fmt.Errorf("core: ATA fallback failed (%v) after budget exhaustion: %w", err, cause)
+		return nil, fmt.Errorf("core: ATA fallback failed (%v) after budget exhaustion: %s", err, reason.Cause)
 	}
 	res.Degraded = true
-	res.DegradeReason = fmt.Sprintf("%v; degraded to pure ATA (linear-depth floor, Theorem 6.1)", cause)
+	res.DegradeReason = reason
 	return res, nil
 }
 
@@ -320,13 +359,17 @@ func Measure(c *circuit.Circuit, nm *noise.Model) Metrics {
 	return m
 }
 
-func compileGreedy(a *arch.Arch, problem *graph.Graph, initial []int, opts Options, bud *budget) (*Result, error) {
+func compileGreedy(a *arch.Arch, problem *graph.Graph, initial []int, opts Options, bud *budget, rec *recorder) (*Result, error) {
+	ph := rec.phase("greedy")
 	g, err := greedy.Compile(a, problem, initial, greedy.Options{
 		Noise:          opts.Noise,
 		CrosstalkAware: opts.CrosstalkAware,
 		Angle:          opts.Angle,
 		Interrupt:      interruptOf(bud),
+		Obs:            rec.tr,
+		ObsSpan:        ph.span,
 	})
+	ph.end()
 	if err != nil {
 		return nil, err
 	}
@@ -335,10 +378,12 @@ func compileGreedy(a *arch.Arch, problem *graph.Graph, initial []int, opts Optio
 	return res, nil
 }
 
-func compileATA(a *arch.Arch, problem *graph.Graph, initial []int, opts Options) (*Result, error) {
+func compileATA(a *arch.Arch, problem *graph.Graph, initial []int, opts Options, rec *recorder) (*Result, error) {
+	ph := rec.phase("ata")
+	defer ph.end()
 	b := circuit.NewBuilder(a, problem.N(), initial)
 	st := swapnet.NewStateFromMapping(a, initial, swapnet.NewEdgeSet(problem))
-	if err := runATARegions(st, b, opts.Angle); err != nil {
+	if err := runATARegionsTraced(st, b, opts.Angle, nil, rec.tr, ph.span); err != nil {
 		return nil, err
 	}
 	res := &Result{Circuit: b.C, Initial: b.InitialMapping(), Final: b.CurrentMapping(), Source: "ata"}
@@ -358,16 +403,22 @@ func runATARegions(st *swapnet.State, b *circuit.Builder, angle float64) error {
 // candidate's ATA suffix replays the dual-prediction choices it already
 // scored instead of recomputing them.
 func runATARegionsCached(st *swapnet.State, b *circuit.Builder, angle float64, c *swapnet.PatternCache) error {
+	return runATARegionsTraced(st, b, angle, c, nil, nil)
+}
+
+// runATARegionsTraced is runATARegionsCached with each region's pattern
+// build wrapped in an "ata.region" span under parent (nil trace = no spans).
+func runATARegionsTraced(st *swapnet.State, b *circuit.Builder, angle float64, c *swapnet.PatternCache, tr *obs.Trace, parent *obs.Span) error {
 	regions := detectRegions(st, c)
 	for _, r := range regions {
-		if err := swapnet.ATAWithCache(st, r, builderEmit(b, angle), c); err != nil {
+		if err := swapnet.ATATraced(st, r, builderEmit(b, angle), c, tr, parent); err != nil {
 			return err
 		}
 	}
 	if !st.Want.Empty() {
 		// Regions are merged when overlapping, so this indicates a pattern
 		// gap; fall back to one full-architecture pass.
-		if err := swapnet.ATAWithCache(st, arch.FullRegion(st.A), builderEmit(b, angle), c); err != nil {
+		if err := swapnet.ATATraced(st, arch.FullRegion(st.A), builderEmit(b, angle), c, tr, parent); err != nil {
 			return err
 		}
 	}

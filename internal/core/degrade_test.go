@@ -51,7 +51,7 @@ func TestDeadlineDegradesToATA(t *testing.T) {
 	if !res.Degraded {
 		t.Fatal("Degraded not set despite an already-expired deadline")
 	}
-	if res.DegradeReason == "" {
+	if res.DegradeReason.IsZero() {
 		t.Fatal("DegradeReason empty on a degraded result")
 	}
 	if res.Source != "ata" {
@@ -74,8 +74,8 @@ func TestMaxNodesDegradesDeterministically(t *testing.T) {
 	if !res.Degraded || res.Source != "ata" {
 		t.Fatalf("expected degraded pure-ATA result, got degraded=%v source=%q", res.Degraded, res.Source)
 	}
-	if !strings.Contains(res.DegradeReason, "budget") {
-		t.Fatalf("reason should name the budget, got %q", res.DegradeReason)
+	if !strings.Contains(res.DegradeReason.String(), "budget") {
+		t.Fatalf("reason should name the budget, got %q", res.DegradeReason.String())
 	}
 	verifyClean(t, a, p, res)
 }
@@ -100,8 +100,8 @@ func TestPredictionBudgetKeepsBestSoFar(t *testing.T) {
 	if !res.Degraded {
 		t.Fatal("expected prediction-loop truncation to mark the result degraded")
 	}
-	if !strings.Contains(res.DegradeReason, "prediction budget exhausted") {
-		t.Fatalf("expected the best-so-far rung, got %q", res.DegradeReason)
+	if !strings.Contains(res.DegradeReason.String(), "prediction budget exhausted") {
+		t.Fatalf("expected the best-so-far rung, got %q", res.DegradeReason.String())
 	}
 	if res.Stats.Predictions >= res.Stats.Checkpoints {
 		t.Fatalf("expected truncated predictions: %d/%d", res.Stats.Predictions, res.Stats.Checkpoints)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/ata-pattern/ataqc/internal/greedy"
+	"github.com/ata-pattern/ataqc/internal/obs"
 )
 
 // ErrBudgetExhausted reports that Options.MaxNodes was spent before the
@@ -32,13 +33,17 @@ var ErrInternal = errors.New("core: internal compiler error")
 // usable (the best-so-far rung of the degradation ladder).
 type budget struct {
 	ctx      context.Context
+	clock    obs.Clock // the compile's clock: wall-clock checks and Stats.Elapsed share it
 	deadline time.Time // zero when unbounded
 	maxNodes int64     // 0 = unbounded
 	nodes    atomic.Int64
 }
 
-func newBudget(ctx context.Context, start time.Time, opts Options) *budget {
-	b := &budget{ctx: ctx, maxNodes: int64(opts.MaxNodes)}
+func newBudget(ctx context.Context, start time.Time, opts Options, clock obs.Clock) *budget {
+	if clock == nil {
+		clock = obs.SystemClock
+	}
+	b := &budget{ctx: ctx, clock: clock, maxNodes: int64(opts.MaxNodes)}
 	if opts.Deadline > 0 {
 		b.deadline = start.Add(opts.Deadline)
 	}
@@ -70,7 +75,7 @@ func (b *budget) interrupt() error {
 	if err := b.ctx.Err(); err != nil {
 		return fmt.Errorf("core: compile interrupted: %w", err)
 	}
-	if !b.deadline.IsZero() && time.Now().After(b.deadline) {
+	if !b.deadline.IsZero() && b.clock.Now().After(b.deadline) {
 		return fmt.Errorf("core: compile deadline passed: %w", context.DeadlineExceeded)
 	}
 	if n := b.nodes.Load(); b.maxNodes > 0 && n > b.maxNodes {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -8,6 +9,7 @@ import (
 	"github.com/ata-pattern/ataqc/internal/circuit"
 	"github.com/ata-pattern/ataqc/internal/graph"
 	"github.com/ata-pattern/ataqc/internal/greedy"
+	"github.com/ata-pattern/ataqc/internal/obs"
 	"github.com/ata-pattern/ataqc/internal/swapnet"
 )
 
@@ -26,34 +28,46 @@ type checkpoint struct {
 // exhaustion during prediction truncates the candidate pool and selects
 // among what was evaluated so far (pure greedy and prefix-0 pure ATA are
 // candidates from the start, so a valid circuit always exists).
-func compileHybrid(a *arch.Arch, problem *graph.Graph, initial []int, opts Options, bud *budget) (*Result, error) {
+func compileHybrid(a *arch.Arch, problem *graph.Graph, initial []int, opts Options, bud *budget, rec *recorder) (*Result, error) {
 	// --- Greedy processing, recording decimated checkpoints. ---
 	var cps []checkpoint
 	stride := 1
-	g, err := greedy.Compile(a, problem, initial, greedy.Options{
-		Noise:          opts.Noise,
-		CrosstalkAware: opts.CrosstalkAware,
-		Angle:          opts.Angle,
-		Interrupt:      interruptOf(bud),
-		Checkpoint: func(prefixLen int, l2p []int, cycle int) {
-			if cycle%stride != 0 {
-				return
-			}
-			cps = append(cps, checkpoint{prefixLen: prefixLen, l2p: l2p, cycle: cycle})
-			if len(cps) > 2*opts.MaxPredictions {
-				// Decimate: keep every other checkpoint, double the stride.
-				kept := cps[:0]
-				for i := 0; i < len(cps); i += 2 {
-					kept = append(kept, cps[i])
+	gph := rec.phase("greedy")
+	var (
+		g   *greedy.Result
+		err error
+	)
+	obs.PhaseLabel(bud.ctx, "greedy", func(context.Context) {
+		g, err = greedy.Compile(a, problem, initial, greedy.Options{
+			Noise:          opts.Noise,
+			CrosstalkAware: opts.CrosstalkAware,
+			Angle:          opts.Angle,
+			Interrupt:      interruptOf(bud),
+			Obs:            rec.tr,
+			ObsSpan:        gph.span,
+			Checkpoint: func(prefixLen int, l2p []int, cycle int) {
+				if cycle%stride != 0 {
+					return
 				}
-				cps = kept
-				stride *= 2
-			}
-		},
+				cps = append(cps, checkpoint{prefixLen: prefixLen, l2p: l2p, cycle: cycle})
+				if len(cps) > 2*opts.MaxPredictions {
+					// Decimate: keep every other checkpoint, double the stride.
+					kept := cps[:0]
+					for i := 0; i < len(cps); i += 2 {
+						kept = append(kept, cps[i])
+					}
+					cps = kept
+					stride *= 2
+				}
+			},
+		})
 	})
+	gph.end()
 	if err != nil {
 		if degradable(err) {
-			return degradeToATA(a, problem, initial, opts, fmt.Errorf("greedy scheduling aborted: %w", err))
+			cause := fmt.Errorf("greedy scheduling aborted: %w", err)
+			return degradeToATA(a, problem, initial, opts,
+				degradeReasonFor("pure-ata", cause, -1, 0, bud, opts, rec), rec)
 		}
 		return nil, err
 	}
@@ -88,29 +102,33 @@ func compileHybrid(a *arch.Arch, problem *graph.Graph, initial []int, opts Optio
 	// tie-breaks, so the selected candidate — and the output circuit — are
 	// the same for any worker count under an unbounded budget.
 	h := &hybridEval{
-		a: a, problem: problem, opts: opts, bud: bud, gates: gates,
+		a: a, problem: problem, opts: opts, bud: bud, rec: rec, gates: gates,
 		cxPre: cxPre, lfPre: lfPre, oCycles: oCycles, oCX: oCX, oLF: oLF,
 	}
 	stats := Stats{Checkpoints: len(cps), SelectedPrefix: -1}
 	var (
-		best          *candidate
-		degradeReason string
-		cache         *swapnet.PatternCache
+		best    *candidate
+		dreason DegradeReason
+		cache   *swapnet.PatternCache
 	)
-	if opts.Workers > 1 {
-		cache = swapnet.NewPatternCache(0)
-		best, degradeReason, err = h.predictParallel(cps, &stats, cache)
-	} else {
-		best, degradeReason, err = h.predictSerial(cps, &stats)
-	}
+	pph := rec.phase("predict")
+	obs.PhaseLabel(bud.ctx, "predict", func(context.Context) {
+		if opts.Workers > 1 {
+			cache = swapnet.NewPatternCache(0)
+			best, dreason, err = h.predictParallel(cps, &stats, cache, pph.span)
+		} else {
+			best, dreason, err = h.predictSerial(cps, &stats, pph.span)
+		}
+	})
+	pph.end()
 	if err != nil {
 		return nil, err
 	}
 
 	if best == nil {
-		finishCacheStats(&stats, cache)
+		finishCacheStats(&stats, cache, rec)
 		return &Result{Circuit: g.Circuit, Initial: g.Initial, Final: g.Final, Source: "greedy",
-			Degraded: degradeReason != "", DegradeReason: degradeReason, Stats: stats}, nil
+			Degraded: !dreason.IsZero(), DegradeReason: dreason, Stats: stats}, nil
 	}
 	stats.SelectedPrefix = best.cp.prefixLen
 
@@ -119,33 +137,39 @@ func compileHybrid(a *arch.Arch, problem *graph.Graph, initial []int, opts Optio
 	// candidate's grid pattern choices were memoised while it was scored, so
 	// the ATA suffix replays the recorded decisions instead of re-running
 	// the dual prediction.
+	mph := rec.phase("materialize")
 	b := circuit.NewBuilder(a, problem.N(), initial)
-	for _, gt := range gates[:best.cp.prefixLen] {
-		switch gt.Kind {
-		case circuit.GateZZ:
-			b.ZZ(gt.Q0, gt.Q1, gt.Angle, gt.Tag)
-		case circuit.GateSwap:
-			b.Swap(gt.Q0, gt.Q1)
-		case circuit.GateZZSwap:
-			// Must go through the builder so its mapping stays in lockstep
-			// — a raw Append would leave the claimed final mapping stale.
-			b.ZZSwap(gt.Q0, gt.Q1, gt.Angle, gt.Tag)
-		default:
-			b.C.Append(gt)
+	var mErr error
+	obs.PhaseLabel(bud.ctx, "ata", func(context.Context) {
+		for _, gt := range gates[:best.cp.prefixLen] {
+			switch gt.Kind {
+			case circuit.GateZZ:
+				b.ZZ(gt.Q0, gt.Q1, gt.Angle, gt.Tag)
+			case circuit.GateSwap:
+				b.Swap(gt.Q0, gt.Q1)
+			case circuit.GateZZSwap:
+				// Must go through the builder so its mapping stays in lockstep
+				// — a raw Append would leave the claimed final mapping stale.
+				b.ZZSwap(gt.Q0, gt.Q1, gt.Angle, gt.Tag)
+			default:
+				b.C.Append(gt)
+			}
 		}
+		want := remainingAfterPrefix(problem, gates[:best.cp.prefixLen])
+		st := swapnet.NewStateFromMapping(a, best.cp.l2p, want)
+		mErr = runATARegionsTraced(st, b, opts.Angle, cache, rec.tr, mph.span)
+	})
+	mph.end()
+	if mErr != nil {
+		return nil, mErr
 	}
-	want := remainingAfterPrefix(problem, gates[:best.cp.prefixLen])
-	st := swapnet.NewStateFromMapping(a, best.cp.l2p, want)
-	if err := runATARegionsCached(st, b, opts.Angle, cache); err != nil {
-		return nil, err
-	}
-	finishCacheStats(&stats, cache)
+	finishCacheStats(&stats, cache, rec)
 	source := "ata"
 	if best.cp.prefixLen > 0 {
 		source = "hybrid"
 	}
 	return &Result{Circuit: b.C, Initial: b.InitialMapping(), Final: b.CurrentMapping(), Source: source,
-		Degraded: degradeReason != "", DegradeReason: degradeReason, Stats: stats}, nil
+		Degraded: !dreason.IsZero(), DegradeReason: dreason, Stats: stats}, nil
 }
 
 // candidate is a scored selector entry: a checkpoint and its cost F.
@@ -162,6 +186,7 @@ type hybridEval struct {
 	problem *graph.Graph
 	opts    Options
 	bud     *budget
+	rec     *recorder
 	gates   []circuit.Gate
 	cxPre   []int
 	lfPre   []float64
@@ -192,16 +217,15 @@ func (h *hybridEval) scoreCheckpoint(cp checkpoint, want *swapnet.EdgeSet, c *sw
 // predictSerial is the Workers=1 engine: the original governed loop,
 // uncached, evaluating checkpoints in order. It doubles as the reference
 // the determinism suite compares the parallel engine against.
-func (h *hybridEval) predictSerial(cps []checkpoint, stats *Stats) (best *candidate, degradeReason string, err error) {
+func (h *hybridEval) predictSerial(cps []checkpoint, stats *Stats, parent *obs.Span) (best *candidate, dreason DegradeReason, err error) {
+	rec := h.rec
 	bestF := 1.0 // pure greedy: fD/oD = 1 and fidelity ratio = 1
 	for i := range cps {
 		if berr := h.bud.interrupt(); berr != nil {
 			if !degradable(berr) {
-				return nil, "", berr
+				return nil, DegradeReason{}, berr
 			}
-			degradeReason = fmt.Sprintf(
-				"prediction budget exhausted after %d/%d checkpoints (%v); selected best candidate so far",
-				i, len(cps), berr)
+			dreason = degradeReasonFor("best-so-far", berr, i, len(cps), h.bud, h.opts, rec)
 			break
 		}
 		cp := cps[i]
@@ -209,7 +233,17 @@ func (h *hybridEval) predictSerial(cps []checkpoint, stats *Stats) (best *candid
 		if want.Empty() {
 			continue
 		}
+		sp := rec.tr.StartSpan(parent, "predictATA",
+			obs.Int("prefix", cp.prefixLen), obs.Int("cycle", cp.cycle))
+		t0 := rec.clock.Now()
 		f, ok := h.scoreCheckpoint(cp, want, nil)
+		run := rec.clock.Now().Sub(t0)
+		sp.SetAttrs(obs.F64("cost", f), obs.Bool("scored", ok))
+		sp.End()
+		rec.tl.Checkpoints = append(rec.tl.Checkpoints, CheckpointTiming{
+			Prefix: cp.prefixLen, Cycle: cp.cycle, Run: run,
+			Cost: f, Scored: ok, Evaluated: true,
+		})
 		if !ok {
 			continue
 		}
@@ -219,17 +253,22 @@ func (h *hybridEval) predictSerial(cps []checkpoint, stats *Stats) (best *candid
 			best = &candidate{cp: cp, f: f}
 		}
 	}
-	return best, degradeReason, nil
+	return best, dreason, nil
 }
 
-// finishCacheStats copies the pattern cache counters onto the stats (nil
-// cache = serial path, counters stay zero).
-func finishCacheStats(stats *Stats, c *swapnet.PatternCache) {
+// finishCacheStats copies the pattern cache counters onto the stats and
+// into the trace's metrics registry (nil cache = serial path, counters stay
+// zero).
+func finishCacheStats(stats *Stats, c *swapnet.PatternCache, rec *recorder) {
 	if c == nil {
 		return
 	}
 	cs := c.Stats()
 	stats.CacheHits, stats.CacheMisses = cs.Hits, cs.Misses
+	met := rec.tr.Metrics()
+	met.Counter("cache.hits").Add(cs.Hits)
+	met.Counter("cache.misses").Add(cs.Misses)
+	met.Counter("cache.evictions").Add(cs.Evictions)
 }
 
 // remainingAfterPrefix returns the problem edges not scheduled within the

@@ -1,10 +1,12 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"sync"
+	"time"
 
 	"github.com/ata-pattern/ataqc/internal/circuit"
+	"github.com/ata-pattern/ataqc/internal/obs"
 	"github.com/ata-pattern/ataqc/internal/swapnet"
 )
 
@@ -27,14 +29,19 @@ import (
 // loop's truncation. Non-degradable interruption (context cancellation)
 // aborts with the error after every worker has exited — the pool never
 // leaks goroutines.
-func (h *hybridEval) predictParallel(cps []checkpoint, stats *Stats, cache *swapnet.PatternCache) (best *candidate, degradeReason string, err error) {
+//
+// Observability: each worker gets its own span (and exporter lane), every
+// prediction a "predictATA" child span, and each job's queue wait (feed to
+// pick-up) and run time land in the pool.queue_wait_us / pool.run_us
+// histograms and the Timeline's per-checkpoint entries. The feed timestamp
+// is written before the channel send, so the receiving worker reads it
+// under the channel's happens-before edge.
+func (h *hybridEval) predictParallel(cps []checkpoint, stats *Stats, cache *swapnet.PatternCache, parent *obs.Span) (best *candidate, dreason DegradeReason, err error) {
 	if berr := h.bud.interrupt(); berr != nil {
 		if !degradable(berr) {
-			return nil, "", berr
+			return nil, DegradeReason{}, berr
 		}
-		return nil, fmt.Sprintf(
-			"prediction budget exhausted after 0/%d checkpoints (%v); selected best candidate so far",
-			len(cps), berr), nil
+		return nil, degradeReasonFor("best-so-far", berr, 0, len(cps), h.bud, h.opts, h.rec), nil
 	}
 
 	// Incremental want-set precomputation: checkpoints arrive in ascending
@@ -61,11 +68,16 @@ func (h *hybridEval) predictParallel(cps []checkpoint, stats *Stats, cache *swap
 		jobs = append(jobs, job{cp: cp, want: want.Clone()})
 	}
 	if len(jobs) == 0 {
-		return nil, "", nil
+		return nil, DegradeReason{}, nil
 	}
 
 	scores := make([]float64, len(jobs))
 	scored := make([]bool, len(jobs))
+	timings := make([]CheckpointTiming, len(jobs))
+	feedTs := make([]time.Time, len(jobs))
+	met := h.rec.tr.Metrics()
+	waitHist := met.Histogram("pool.queue_wait_us")
+	runHist := met.Histogram("pool.run_us")
 
 	workers := h.opts.Workers
 	if workers > len(jobs) {
@@ -81,25 +93,46 @@ func (h *hybridEval) predictParallel(cps []checkpoint, stats *Stats, cache *swap
 	jobCh := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for i := range jobCh {
-				if berr := h.bud.interrupt(); berr != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = berr
+			obs.WorkerLabel(h.bud.ctx, w+1, func(context.Context) {
+				wspan := h.rec.tr.StartSpan(parent, "worker", obs.Int("worker", w+1))
+				wspan.SetLane(w + 1)
+				defer wspan.End()
+				for i := range jobCh {
+					pick := h.rec.clock.Now()
+					if berr := h.bud.interrupt(); berr != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = berr
+						}
+						mu.Unlock()
+						stopOnce.Do(func() { close(stop) })
+						return
 					}
-					mu.Unlock()
-					stopOnce.Do(func() { close(stop) })
-					return
+					sp := h.rec.tr.StartSpan(wspan, "predictATA",
+						obs.Int("prefix", jobs[i].cp.prefixLen),
+						obs.Int("cycle", jobs[i].cp.cycle))
+					f, ok := h.scoreCheckpoint(jobs[i].cp, jobs[i].want, cache)
+					end := h.rec.clock.Now()
+					sp.SetAttrs(obs.F64("cost", f), obs.Bool("scored", ok))
+					sp.End()
+					wait, run := pick.Sub(feedTs[i]), end.Sub(pick)
+					waitHist.Observe(wait.Microseconds())
+					runHist.Observe(run.Microseconds())
+					timings[i] = CheckpointTiming{
+						Prefix: jobs[i].cp.prefixLen, Cycle: jobs[i].cp.cycle,
+						Worker: w + 1, Wait: wait, Run: run,
+						Cost: f, Scored: ok, Evaluated: true,
+					}
+					scores[i], scored[i] = f, ok
 				}
-				f, ok := h.scoreCheckpoint(jobs[i].cp, jobs[i].want, cache)
-				scores[i], scored[i] = f, ok
-			}
-		}()
+			})
+		}(w)
 	}
 feed:
 	for i := range jobs {
+		feedTs[i] = h.rec.clock.Now()
 		select {
 		case jobCh <- i:
 		case <-stop:
@@ -110,9 +143,14 @@ feed:
 	wg.Wait()
 
 	// Selection: ascending checkpoint order, strict-less — byte-identical
-	// tie-breaking with the serial loop.
+	// tie-breaking with the serial loop. The timeline keeps the same order,
+	// so phase breakdowns are comparable across runs regardless of which
+	// worker ran which job.
 	bestF := 1.0 // pure greedy: fD/oD = 1 and fidelity ratio = 1
 	for i := range jobs {
+		if timings[i].Evaluated {
+			h.rec.tl.Checkpoints = append(h.rec.tl.Checkpoints, timings[i])
+		}
 		if !scored[i] {
 			continue
 		}
@@ -124,11 +162,9 @@ feed:
 	}
 	if firstErr != nil {
 		if !degradable(firstErr) {
-			return nil, "", firstErr
+			return nil, DegradeReason{}, firstErr
 		}
-		degradeReason = fmt.Sprintf(
-			"prediction budget exhausted after %d/%d checkpoints (%v); selected best candidate so far",
-			stats.Predictions, len(cps), firstErr)
+		dreason = degradeReasonFor("best-so-far", firstErr, stats.Predictions, len(cps), h.bud, h.opts, h.rec)
 	}
-	return best, degradeReason, nil
+	return best, dreason, nil
 }

@@ -150,8 +150,8 @@ func TestParallelStarvedBudgetDegrades(t *testing.T) {
 	if !res.Degraded || res.Source != "ata" {
 		t.Fatalf("expected degraded pure-ATA result, got degraded=%v source=%q", res.Degraded, res.Source)
 	}
-	if !strings.Contains(res.DegradeReason, "budget") {
-		t.Fatalf("reason should name the budget, got %q", res.DegradeReason)
+	if !strings.Contains(res.DegradeReason.String(), "budget") {
+		t.Fatalf("reason should name the budget, got %q", res.DegradeReason.String())
 	}
 	verifyClean(t, a, p, res)
 }
@@ -181,8 +181,8 @@ func TestParallelPredictionBudgetKeepsBestSoFar(t *testing.T) {
 	if !res.Degraded {
 		t.Fatal("expected mid-fan-out exhaustion to mark the result degraded")
 	}
-	if !strings.Contains(res.DegradeReason, "prediction budget exhausted") {
-		t.Fatalf("expected the best-so-far rung, got %q", res.DegradeReason)
+	if !strings.Contains(res.DegradeReason.String(), "prediction budget exhausted") {
+		t.Fatalf("expected the best-so-far rung, got %q", res.DegradeReason.String())
 	}
 	verifyClean(t, a, p, res)
 }

@@ -20,6 +20,7 @@ import (
 	"github.com/ata-pattern/ataqc/internal/circuit"
 	"github.com/ata-pattern/ataqc/internal/graph"
 	"github.com/ata-pattern/ataqc/internal/noise"
+	"github.com/ata-pattern/ataqc/internal/obs"
 )
 
 // ErrNoProgress reports that the scheduler hit its cycle cap with gates
@@ -62,6 +63,13 @@ type Options struct {
 	// the compilation immediately with an ErrInterrupted-wrapped error —
 	// the hybrid compiler's resource governor plugs in here.
 	Interrupt func() error
+	// Obs records scheduler telemetry (cycle/stall counters, per-cycle
+	// scheduling histograms, stall-recovery events under ObsSpan) on the
+	// given trace; nil disables it at the cost of one pointer check per
+	// observation.
+	Obs *obs.Trace
+	// ObsSpan is the parent span stall-recovery events attach to.
+	ObsSpan *obs.Span
 }
 
 // Result is a completed greedy compilation.
@@ -107,6 +115,14 @@ func Compile(a *arch.Arch, problem *graph.Graph, initial []int, opts Options) (*
 		}
 	}
 
+	// Metric handles resolve once up front: with Obs == nil they are nil,
+	// and every observation below is a single pointer check.
+	met := opts.Obs.Metrics()
+	mCycles := met.Counter("greedy.cycles")
+	mStalls := met.Counter("greedy.stall_walks")
+	mSched := met.Histogram("greedy.scheduled_per_cycle")
+	mSwaps := met.Histogram("greedy.swaps_per_cycle")
+
 	cycle := 0
 	stall := 0
 	stallLimit := a.Diameter() + 8
@@ -115,6 +131,7 @@ func Compile(a *arch.Arch, problem *graph.Graph, initial []int, opts Options) (*
 			return nil, fmt.Errorf("%w after %d cycles (%d gates left)", ErrNoProgress, cycle, len(remaining))
 		}
 		cycle++
+		mCycles.Add(1)
 		if opts.Interrupt != nil {
 			if ierr := opts.Interrupt(); ierr != nil {
 				return nil, fmt.Errorf("%w at cycle %d: %w", ErrInterrupted, cycle, ierr)
@@ -126,6 +143,11 @@ func Compile(a *arch.Arch, problem *graph.Graph, initial []int, opts Options) (*
 			// configurations; deterministically drain the closest gate by
 			// walking it home one SWAP per cycle, then resume.
 			e := closestGate(b, dist, remaining)
+			mStalls.Add(1)
+			opts.Obs.Event(opts.ObsSpan, "greedy.stall_walk",
+				obs.Int("cycle", cycle),
+				obs.Int("remaining", len(remaining)),
+				obs.Int("distance", dist[b.PhysOf(e.U)][b.PhysOf(e.V)]))
 			for !a.G.HasEdge(b.PhysOf(e.U), b.PhysOf(e.V)) {
 				if cycle >= maxCycles {
 					return nil, fmt.Errorf("%w after %d cycles (stall walk)", ErrNoProgress, cycle)
@@ -200,6 +222,7 @@ func Compile(a *arch.Arch, problem *graph.Graph, initial []int, opts Options) (*
 			}
 		}
 		remaining = schedPending
+		mSched.Observe(int64(len(scheduled)))
 		// Emit scheduled gates, unifying a gate with its SWAP when moving
 		// the pair brings other remaining gates closer (free routing — the
 		// trick the structured patterns and 2QAN both exploit).
@@ -219,6 +242,7 @@ func Compile(a *arch.Arch, problem *graph.Graph, initial []int, opts Options) (*
 
 		// --- SWAP insertion (weighted matching on idle qubits). ---
 		swaps := ws.proposeSwaps(a, b, dist, remaining, busy, opts.Noise)
+		swapCount := len(swaps)
 		touched := ws.touched
 		for i := range touched {
 			touched[i] = false
@@ -269,7 +293,9 @@ func Compile(a *arch.Arch, problem *graph.Graph, initial []int, opts Options) (*
 			touched[s.U], touched[s.V] = true, true
 			touched[pu], touched[pv] = true, true
 			mapped = true
+			swapCount++
 		}
+		mSwaps.Observe(int64(swapCount))
 		if len(scheduled) > 0 {
 			stall = 0
 		} else {

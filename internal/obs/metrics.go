@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are nil-safe
+// and lock-free, so hot loops resolve a handle once and Add from any
+// goroutine.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value metric that also tracks its high-water mark —
+// useful for sampled sizes like the A* open set, where the maximum is the
+// interesting number.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Set records the gauge's current value and folds it into the maximum.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Value returns the last set value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Max returns the high-water mark (0 for nil).
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}
+
+// HistBuckets is the fixed bucket count of every Histogram. Buckets are
+// log-scale (powers of two): bucket 0 holds values <= 0, bucket i >= 1
+// holds values in [2^(i-1), 2^i - 1], and the last bucket absorbs
+// everything beyond — 2^62 µs is ~146 millennia, comfortably past any
+// compile.
+const HistBuckets = 64
+
+// Histogram is a fixed log-scale (power-of-two) histogram. Observations
+// are lock-free atomic adds; nil histograms swallow observations.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [HistBuckets]atomic.Int64
+}
+
+// BucketIndex returns the bucket an observation of v lands in.
+func BucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(v))
+	if i > HistBuckets-1 {
+		i = HistBuckets - 1
+	}
+	return i
+}
+
+// BucketUpper returns the inclusive upper edge of bucket i (-1 means
+// unbounded, for the overflow bucket; 0 for bucket 0).
+func BucketUpper(i int) int64 {
+	switch {
+	case i <= 0:
+		return 0
+	case i >= HistBuckets-1:
+		return -1
+	default:
+		return 1<<uint(i) - 1
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[BucketIndex(v)].Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, with only the
+// non-empty buckets materialised.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// BucketCount pairs a bucket's inclusive upper edge (-1 = unbounded) with
+// its observation count.
+type BucketCount struct {
+	Upper int64 `json:"upper"`
+	Count int64 `json:"count"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{Upper: BucketUpper(i), Count: n})
+		}
+	}
+	return s
+}
+
+// Registry names and owns the metrics of one trace. Lookup methods create
+// on first use and return stable handles, so hot paths resolve once
+// up front; every method is nil-safe (a nil registry hands out nil
+// metrics, whose operations are no-ops).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// GaugeSnapshot is a point-in-time copy of a gauge.
+type GaugeSnapshot struct {
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
+}
+
+// MetricsSnapshot is a point-in-time copy of a whole registry. The Names
+// slices are sorted so exporters are deterministic.
+type MetricsSnapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]GaugeSnapshot
+	Histograms map[string]HistogramSnapshot
+}
+
+// CounterNames returns the sorted counter names.
+func (m *MetricsSnapshot) CounterNames() []string { return sortedKeys(m.Counters) }
+
+// GaugeNames returns the sorted gauge names.
+func (m *MetricsSnapshot) GaugeNames() []string { return sortedKeys(m.Gauges) }
+
+// HistogramNames returns the sorted histogram names.
+func (m *MetricsSnapshot) HistogramNames() []string { return sortedKeys(m.Histograms) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot copies every metric. Nil-safe (returns an empty snapshot).
+func (r *Registry) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]GaugeSnapshot{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, c := range r.counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range r.gauges {
+		s.Gauges[k] = GaugeSnapshot{Value: g.Value(), Max: g.Max()}
+	}
+	for k, h := range r.hists {
+		s.Histograms[k] = h.snapshot()
+	}
+	return s
+}

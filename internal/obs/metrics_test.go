@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBucketIndexEdges(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, // non-positive collapse to bucket 0
+		{1, 1},         // [1,1]
+		{2, 2}, {3, 2}, // [2,3]
+		{4, 3}, {7, 3}, // [4,7]
+		{8, 4}, {15, 4}, // [8,15]
+		{16, 5},
+		{1 << 62, 63}, {1<<63 - 1, 63}, // overflow bucket
+	}
+	for _, c := range cases {
+		if got := BucketIndex(c.v); got != c.want {
+			t.Errorf("BucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestBucketUpperEdges(t *testing.T) {
+	if u := BucketUpper(0); u != 0 {
+		t.Errorf("BucketUpper(0) = %d, want 0", u)
+	}
+	if u := BucketUpper(1); u != 1 {
+		t.Errorf("BucketUpper(1) = %d, want 1", u)
+	}
+	if u := BucketUpper(2); u != 3 {
+		t.Errorf("BucketUpper(2) = %d, want 3", u)
+	}
+	if u := BucketUpper(4); u != 15 {
+		t.Errorf("BucketUpper(4) = %d, want 15", u)
+	}
+	if u := BucketUpper(HistBuckets - 1); u != -1 {
+		t.Errorf("overflow bucket upper = %d, want -1", u)
+	}
+	// Every observable value must land in a bucket whose upper edge covers
+	// it: v <= BucketUpper(BucketIndex(v)) wherever the edge is bounded.
+	for _, v := range []int64{0, 1, 2, 3, 4, 5, 7, 8, 100, 1023, 1024, 1 << 40} {
+		i := BucketIndex(v)
+		if u := BucketUpper(i); u >= 0 && v > u {
+			t.Errorf("value %d lands in bucket %d with upper %d", v, i, u)
+		}
+		if i > 1 {
+			if lower := BucketUpper(i-1) + 1; v < lower {
+				t.Errorf("value %d lands in bucket %d but is below its lower edge %d", v, i, lower)
+			}
+		}
+	}
+}
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 7, 8, 1000} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 7 || s.Sum != 1021 {
+		t.Fatalf("count=%d sum=%d, want 7/1021", s.Count, s.Sum)
+	}
+	got := map[int64]int64{}
+	for _, b := range s.Buckets {
+		got[b.Upper] = b.Count
+	}
+	want := map[int64]int64{0: 1, 1: 1, 3: 2, 7: 1, 15: 1, 1023: 1}
+	for u, n := range want {
+		if got[u] != n {
+			t.Errorf("bucket <=%d has %d observations, want %d", u, got[u], n)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("got buckets %v, want %v", got, want)
+	}
+}
+
+func TestGaugeTracksMax(t *testing.T) {
+	var g Gauge
+	g.Set(5)
+	g.Set(12)
+	g.Set(3)
+	if g.Value() != 3 {
+		t.Fatalf("gauge value = %d, want 3", g.Value())
+	}
+	if g.Max() != 12 {
+		t.Fatalf("gauge max = %d, want 12", g.Max())
+	}
+}
+
+func TestRegistryStableHandles(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("same counter name must return the same handle")
+	}
+	if r.Gauge("x") != r.Gauge("x") {
+		t.Fatal("same gauge name must return the same handle")
+	}
+	if r.Histogram("x") != r.Histogram("x") {
+		t.Fatal("same histogram name must return the same handle")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Counter("hits").Add(1)
+				r.Gauge("open").Set(int64(i))
+				r.Histogram("wait").Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["hits"] != 800 {
+		t.Fatalf("hits = %d, want 800", s.Counters["hits"])
+	}
+	if s.Histograms["wait"].Count != 800 {
+		t.Fatalf("wait count = %d, want 800", s.Histograms["wait"].Count)
+	}
+	if s.Gauges["open"].Max != 99 {
+		t.Fatalf("open max = %d, want 99", s.Gauges["open"].Max)
+	}
+}
+
+func TestSnapshotNameOrdering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zeta").Add(1)
+	r.Counter("alpha").Add(1)
+	r.Counter("mid").Add(1)
+	snap := r.Snapshot()
+	names := snap.CounterNames()
+	if len(names) != 3 || names[0] != "alpha" || names[1] != "mid" || names[2] != "zeta" {
+		t.Fatalf("CounterNames = %v, want sorted", names)
+	}
+}

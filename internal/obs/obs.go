@@ -1,0 +1,224 @@
+// Package obs is the compiler's observability layer: hierarchical spans
+// over the compile timeline, a metrics registry (counters, gauges,
+// log-bucketed histograms), and exporters for Chrome trace_event JSON,
+// flat JSONL event logs, and plain-text summary trees.
+//
+// The package is zero-dependency (stdlib only) and concurrency-safe: the
+// hybrid compiler's parallel prediction workers append spans and bump
+// metrics from many goroutines at once.
+//
+// Everything is nil-safe by design. A nil *Trace is the disabled state:
+// every method on it (and on the nil *Span / *Registry / *Counter /
+// *Gauge / *Histogram values it hands out) is a single pointer check and
+// an immediate return, so instrumented code threads one *Trace pointer
+// unconditionally and pays ~nothing when tracing is off — the contract
+// the BenchmarkCompileNoTrace guard in internal/core enforces.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the monotonic time source so tests can inject a
+// deterministic clock and golden-file the exporters byte-for-byte.
+type Clock interface {
+	Now() time.Time
+}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+// SystemClock is the wall/monotonic clock used by default.
+var SystemClock Clock = systemClock{}
+
+// ClockOf returns the trace's injected clock, or SystemClock for a nil
+// trace — so governed code can time against the same clock the spans use
+// whether or not tracing is enabled.
+func ClockOf(t *Trace) Clock {
+	if t == nil {
+		return SystemClock
+	}
+	return t.clock
+}
+
+// Attr is one span or event attribute. Values are restricted to the JSON
+// scalars the exporters emit (string, int64, float64, bool).
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Str returns a string attribute.
+func Str(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int returns an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: int64(v)} }
+
+// I64 returns an int64 attribute.
+func I64(k string, v int64) Attr { return Attr{Key: k, Value: v} }
+
+// F64 returns a float attribute.
+func F64(k string, v float64) Attr { return Attr{Key: k, Value: v} }
+
+// Bool returns a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Value: v} }
+
+// Dur returns a duration attribute in microseconds (the trace's native
+// export unit).
+func Dur(k string, v time.Duration) Attr {
+	return Attr{Key: k + "_us", Value: float64(v.Nanoseconds()) / 1e3}
+}
+
+// Span is one timed node of the trace tree. Start/End are offsets from the
+// trace origin on the trace's clock. Lane is the exporter's thread id:
+// spans inherit their parent's lane so a worker's subtree renders as one
+// track in chrome://tracing / Perfetto.
+type Span struct {
+	tr      *Trace
+	ID      int // 1-based; 0 is "no span"
+	Parent  int // parent span ID, 0 = top level
+	Lane    int
+	Name    string
+	Start   time.Duration
+	Stop    time.Duration
+	Attrs   []Attr
+	Instant bool // a zero-duration event, not a timed span
+	ended   bool
+}
+
+// Trace records one compilation's span tree and owns its metrics registry.
+// The zero value is not usable; construct with New or NewWithClock. A nil
+// *Trace is the disabled tracer.
+type Trace struct {
+	clock Clock
+	reg   *Registry
+
+	mu    sync.Mutex
+	start time.Time
+	spans []*Span
+}
+
+// New returns an enabled trace on the system clock.
+func New() *Trace { return NewWithClock(SystemClock) }
+
+// NewWithClock returns an enabled trace whose timestamps come from c.
+func NewWithClock(c Clock) *Trace {
+	if c == nil {
+		c = SystemClock
+	}
+	return &Trace{clock: c, reg: NewRegistry(), start: c.Now()}
+}
+
+// Enabled reports whether the trace records anything (nil = disabled).
+func (t *Trace) Enabled() bool { return t != nil }
+
+// Metrics returns the trace's registry (nil for a disabled trace; the
+// registry's methods are nil-safe in turn).
+func (t *Trace) Metrics() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Origin returns the trace's start time on its clock.
+func (t *Trace) Origin() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// StartSpan opens a span under parent (nil parent = top level) and returns
+// it; the caller ends it with Span.End. Safe from concurrent goroutines.
+func (t *Trace) StartSpan(parent *Span, name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	now := t.clock.Now()
+	t.mu.Lock()
+	s := &Span{tr: t, ID: len(t.spans) + 1, Name: name, Start: now.Sub(t.start), Attrs: attrs}
+	if parent != nil {
+		s.Parent = parent.ID
+		s.Lane = parent.Lane
+	}
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Event records an instant (zero-duration) marker under parent.
+func (t *Trace) Event(parent *Span, name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	s := t.StartSpan(parent, name, attrs...)
+	t.mu.Lock()
+	s.Stop = s.Start
+	s.Instant = true
+	s.ended = true
+	t.mu.Unlock()
+}
+
+// End closes the span at the trace clock's current time. Ending twice
+// keeps the first end time; ending a nil span is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := s.tr.clock.Now()
+	s.tr.mu.Lock()
+	if !s.ended {
+		s.Stop = now.Sub(s.tr.start)
+		s.ended = true
+	}
+	s.tr.mu.Unlock()
+}
+
+// SetAttrs appends attributes to the span (typically results computed
+// after StartSpan). Nil-safe.
+func (s *Span) SetAttrs(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.Attrs = append(s.Attrs, attrs...)
+	s.tr.mu.Unlock()
+}
+
+// SetLane pins the span (and, by inheritance, its future children) to an
+// exporter lane — the hybrid compiler gives each prediction worker its own
+// lane so the fan-out renders as parallel tracks. Nil-safe.
+func (s *Span) SetLane(lane int) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.Lane = lane
+	s.tr.mu.Unlock()
+}
+
+// Snapshot returns a deep copy of the span list in creation order (ID
+// order). Unended spans are reported with Stop == Start. Exporters and
+// tests read through this so a still-running compile can be inspected
+// without racing the writers.
+func (t *Trace) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	for i, s := range t.spans {
+		c := *s
+		c.tr = nil
+		c.Attrs = append([]Attr(nil), s.Attrs...)
+		if !s.ended {
+			c.Stop = c.Start
+		}
+		out[i] = c
+	}
+	return out
+}

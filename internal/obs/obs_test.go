@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic Clock: every Now() call advances it by step.
+type fakeClock struct {
+	mu   sync.Mutex
+	t    time.Time
+	step time.Duration
+}
+
+func newFakeClock(step time.Duration) *fakeClock {
+	return &fakeClock{t: time.Unix(1700000000, 0), step: step}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.t
+	c.t = c.t.Add(c.step)
+	return now
+}
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	if tr.Enabled() {
+		t.Fatal("nil trace must report disabled")
+	}
+	s := tr.StartSpan(nil, "root", Str("k", "v"))
+	if s != nil {
+		t.Fatalf("nil trace StartSpan = %v, want nil", s)
+	}
+	s.End()
+	s.SetAttrs(Int("n", 1))
+	s.SetLane(3)
+	tr.Event(nil, "evt")
+	if got := tr.Snapshot(); got != nil {
+		t.Fatalf("nil trace Snapshot = %v, want nil", got)
+	}
+	reg := tr.Metrics()
+	reg.Counter("c").Add(1)
+	reg.Gauge("g").Set(5)
+	reg.Histogram("h").Observe(9)
+	if v := reg.Counter("c").Value(); v != 0 {
+		t.Fatalf("nil registry counter = %d, want 0", v)
+	}
+	if c := ClockOf(tr); c != SystemClock {
+		t.Fatalf("ClockOf(nil) = %v, want SystemClock", c)
+	}
+}
+
+func TestSpanNestingAndTiming(t *testing.T) {
+	clk := newFakeClock(time.Millisecond)
+	tr := NewWithClock(clk)
+	// Clock reads: New=t0. root start=t1, child start=t2, child end=t3,
+	// root end=t4. Offsets are relative to t0.
+	root := tr.StartSpan(nil, "root")
+	child := tr.StartSpan(root, "child", Int("cp", 2))
+	child.End()
+	root.End()
+	tr.Event(root, "marker", Bool("hit", true))
+
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	r, c, e := spans[0], spans[1], spans[2]
+	if r.ID != 1 || r.Parent != 0 || r.Name != "root" {
+		t.Fatalf("root span wrong: %+v", r)
+	}
+	if c.ID != 2 || c.Parent != 1 {
+		t.Fatalf("child span should nest under root: %+v", c)
+	}
+	if r.Start != 1*time.Millisecond || r.Stop != 4*time.Millisecond {
+		t.Fatalf("root timing = [%v, %v], want [1ms, 4ms]", r.Start, r.Stop)
+	}
+	if c.Start != 2*time.Millisecond || c.Stop != 3*time.Millisecond {
+		t.Fatalf("child timing = [%v, %v], want [2ms, 3ms]", c.Start, c.Stop)
+	}
+	if !e.Instant || e.Stop != e.Start || e.Parent != 1 {
+		t.Fatalf("event span wrong: %+v", e)
+	}
+	if len(c.Attrs) != 1 || c.Attrs[0].Key != "cp" || c.Attrs[0].Value != int64(2) {
+		t.Fatalf("child attrs = %v", c.Attrs)
+	}
+}
+
+func TestSpanEndTwiceKeepsFirst(t *testing.T) {
+	clk := newFakeClock(time.Millisecond)
+	tr := NewWithClock(clk)
+	s := tr.StartSpan(nil, "s")
+	s.End()
+	first := tr.Snapshot()[0].Stop
+	s.End()
+	if got := tr.Snapshot()[0].Stop; got != first {
+		t.Fatalf("second End moved Stop from %v to %v", first, got)
+	}
+}
+
+func TestUnendedSpanSnapshotsAsZeroDuration(t *testing.T) {
+	tr := New()
+	tr.StartSpan(nil, "open")
+	s := tr.Snapshot()[0]
+	if s.Stop != s.Start {
+		t.Fatalf("unended span Stop=%v Start=%v, want equal", s.Stop, s.Start)
+	}
+}
+
+func TestLaneInheritance(t *testing.T) {
+	tr := New()
+	root := tr.StartSpan(nil, "root")
+	w := tr.StartSpan(root, "worker")
+	w.SetLane(7)
+	task := tr.StartSpan(w, "task")
+	spans := tr.Snapshot()
+	if spans[1].Lane != 7 {
+		t.Fatalf("worker lane = %d, want 7", spans[1].Lane)
+	}
+	if spans[2].Lane != 7 {
+		t.Fatalf("child should inherit lane 7, got %d", spans[2].Lane)
+	}
+	_ = task
+}
+
+// TestConcurrentSpans hammers one trace from many goroutines; run with
+// -race. IDs must come out unique and in creation order, and every child
+// must reference a parent created before it.
+func TestConcurrentSpans(t *testing.T) {
+	tr := New()
+	root := tr.StartSpan(nil, "root")
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := tr.StartSpan(root, "worker")
+			ws.SetLane(w + 1)
+			for i := 0; i < perWorker; i++ {
+				s := tr.StartSpan(ws, "task", Int("i", i))
+				tr.Metrics().Counter("tasks").Add(1)
+				tr.Metrics().Histogram("task_i").Observe(int64(i))
+				s.End()
+			}
+			ws.End()
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+
+	spans := tr.Snapshot()
+	want := 1 + workers + workers*perWorker
+	if len(spans) != want {
+		t.Fatalf("got %d spans, want %d", len(spans), want)
+	}
+	for i, s := range spans {
+		if s.ID != i+1 {
+			t.Fatalf("span %d has ID %d — snapshot must be in creation order", i, s.ID)
+		}
+		if s.Parent >= s.ID {
+			t.Fatalf("span %d references parent %d created after it", s.ID, s.Parent)
+		}
+		if s.Stop < s.Start {
+			t.Fatalf("span %d ends (%v) before it starts (%v)", s.ID, s.Stop, s.Start)
+		}
+	}
+	if v := tr.Metrics().Counter("tasks").Value(); v != int64(workers*perWorker) {
+		t.Fatalf("tasks counter = %d, want %d", v, workers*perWorker)
+	}
+	if h := tr.Metrics().Snapshot().Histograms["task_i"]; h.Count != int64(workers*perWorker) {
+		t.Fatalf("task_i histogram count = %d, want %d", h.Count, workers*perWorker)
+	}
+}
+
+func TestPhaseAndWorkerLabelNilContext(t *testing.T) {
+	ran := 0
+	PhaseLabel(nil, "greedy", func(context.Context) { ran++ })
+	WorkerLabel(nil, 3, func(context.Context) { ran++ })
+	if ran != 2 {
+		t.Fatalf("label helpers with nil ctx ran %d times, want 2", ran)
+	}
+}

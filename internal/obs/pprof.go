@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+)
+
+// PhaseLabel runs f with the pprof label ataqc_phase=phase attached, so CPU
+// profiles taken with -cpuprofile attribute samples to compiler phases
+// (greedy, predict, ata, ...). Labels are inherited by goroutines spawned
+// inside f, which is how the prediction pool's workers get tagged. When the
+// trace is nil the label is still applied — pprof labels are cheap and a
+// profile without a trace is a supported mode — unless ctx is nil, in which
+// case f runs bare.
+func PhaseLabel(ctx context.Context, phase string, f func(context.Context)) {
+	if ctx == nil {
+		f(context.Background())
+		return
+	}
+	pprof.Do(ctx, pprof.Labels("ataqc_phase", phase), f)
+}
+
+// WorkerLabel runs f with ataqc_worker=<id> added to the current label set,
+// nesting under whatever PhaseLabel already applied.
+func WorkerLabel(ctx context.Context, id int, f func(context.Context)) {
+	if ctx == nil {
+		f(context.Background())
+		return
+	}
+	pprof.Do(ctx, pprof.Labels("ataqc_worker", strconv.Itoa(id)), f)
+}

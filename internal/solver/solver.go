@@ -26,6 +26,7 @@ import (
 
 	"github.com/ata-pattern/ataqc/internal/arch"
 	"github.com/ata-pattern/ataqc/internal/graph"
+	"github.com/ata-pattern/ataqc/internal/obs"
 )
 
 // Op is one operation scheduled in a cycle.
@@ -50,6 +51,11 @@ type Options struct {
 	// MaxNodes aborts the search after expanding this many nodes
 	// (0 = 2^22).
 	MaxNodes int
+	// Trace, when non-nil, records a "solver.astar" span plus the
+	// solver.explored counter and solver.open_set / solver.closed_set
+	// gauges (sampled every interruptStride expansions). Nil costs a
+	// single pointer check per observation.
+	Trace *obs.Trace
 }
 
 // ErrSearchExhausted is returned when MaxNodes is hit before a terminal.
@@ -133,20 +139,41 @@ func SolveContext(ctx context.Context, a *arch.Arch, problem *graph.Graph, initi
 	pq := &nodeQueue{root}
 	best := map[string]int{s.key(root): 0}
 
+	// Metric handles resolve once before the expansion loop; with a nil
+	// trace every handle is nil and each observation is one pointer check.
+	met := opts.Trace.Metrics()
+	mExplored := met.Counter("solver.explored")
+	gOpen := met.Gauge("solver.open_set")
+	gClosed := met.Gauge("solver.closed_set")
+	sp := opts.Trace.StartSpan(nil, "solver.astar",
+		obs.Int("qubits", a.N()),
+		obs.Int("edges", len(edges)),
+		obs.Int("max_nodes", maxNodes))
+
 	explored := 0
+	defer func() {
+		gOpen.Set(int64(pq.Len()))
+		gClosed.Set(int64(len(best)))
+		sp.SetAttrs(obs.Int("explored", explored))
+		sp.End()
+	}()
 	for pq.Len() > 0 {
 		cur := heap.Pop(pq).(*node)
 		if cur.rem == 0 {
+			sp.SetAttrs(obs.Int("depth", cur.g))
 			return &Result{Depth: cur.g, Cycles: s.extract(cur), Explored: explored}, nil
 		}
 		if g, ok := best[s.key(cur)]; ok && cur.g > g {
 			continue // stale entry
 		}
 		explored++
+		mExplored.Add(1)
 		if explored > maxNodes {
 			return nil, ErrSearchExhausted
 		}
 		if explored%interruptStride == 0 {
+			gOpen.Set(int64(pq.Len()))
+			gClosed.Set(int64(len(best)))
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("%w after %d nodes: %w", ErrInterrupted, explored, err)
 			}
