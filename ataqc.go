@@ -533,8 +533,8 @@ func TVD(p, q []float64) float64 { return sim.TVD(p, q) }
 // program gate and SWAP costs one cycle). The search is exponential: it is
 // intended for the sub-problem instances the structured patterns are
 // derived from (lines and ladders of up to ~8 qubits, problems of up to 64
-// interactions). maxNodes bounds the search (0 = 4M node expansions);
-// ErrSolverBudget is returned when it is exhausted.
+// interactions). maxNodes bounds the search (0 = 4M node expansions,
+// negative = unbounded); ErrSolverBudget is returned when it is exhausted.
 func OptimalDepth(dev *Device, p *Problem, maxNodes int) (int, error) {
 	return OptimalDepthContext(context.Background(), dev, p, maxNodes)
 }

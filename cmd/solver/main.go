@@ -17,6 +17,7 @@ import (
 	"runtime/pprof"
 
 	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/bench"
 	"github.com/ata-pattern/ataqc/internal/graph"
 	"github.com/ata-pattern/ataqc/internal/obs"
 	"github.com/ata-pattern/ataqc/internal/solver"
@@ -28,7 +29,10 @@ func main() {
 		rows      = flag.Int("rows", 1, "grid rows (ignored for line)")
 		cols      = flag.Int("cols", 4, "line length / grid columns")
 		bipartite = flag.Bool("bipartite", false, "solve the 2xUnit bipartite sub-problem instead of the clique")
-		maxNodes  = flag.Int("maxnodes", 1<<22, "search node budget")
+		maxNodes  = flag.Int("maxnodes", 1<<22, "search node budget (negative = unbounded, e.g. -maxnodes -1)")
+		symmetry  = flag.Bool("symmetry", false, "canonicalize states under line/grid automorphisms (same optimal depth, smaller search)")
+		reference = flag.Bool("reference", false, "use the pre-optimization reference engine (slow; for comparisons)")
+		benchJSON = flag.String("bench-json", "", "also write the run as a BENCH_solver.json-schema record to this file")
 		timeout   = flag.Duration("timeout", 0, "wall-clock search budget, e.g. 30s (0 = unbounded)")
 		traceOut  = flag.String("trace", "", "record the search's execution trace (solver.astar span, explored/open/closed metrics) to this file")
 		traceFmt  = flag.String("trace-format", "chrome", "trace format: chrome (load in ui.perfetto.dev), jsonl, or text")
@@ -46,8 +50,8 @@ func main() {
 	if *rows < 1 || *cols < 1 {
 		log.Fatalf("-rows and -cols must be positive (got %d, %d)", *rows, *cols)
 	}
-	if *maxNodes < 1 {
-		log.Fatalf("-maxnodes must be positive (got %d)", *maxNodes)
+	if *maxNodes == 0 {
+		log.Fatal("-maxnodes must be positive, or negative for an unbounded search (got 0)")
 	}
 
 	var a *arch.Arch
@@ -62,6 +66,7 @@ func main() {
 
 	n := a.N()
 	var p *graph.Graph
+	instance := "clique"
 	if *bipartite {
 		if *family != "grid" || *rows != 2 {
 			log.Fatal("-bipartite requires -arch grid -rows 2")
@@ -72,6 +77,7 @@ func main() {
 				p.AddEdge(i, j)
 			}
 		}
+		instance = "bipartite"
 	} else {
 		p = graph.Complete(n)
 	}
@@ -97,7 +103,14 @@ func main() {
 	if *traceOut != "" {
 		tr = obs.New()
 	}
-	res, err := solver.SolveContext(ctx, a, p, nil, solver.Options{MaxNodes: *maxNodes, Trace: tr})
+	opts := solver.Options{MaxNodes: *maxNodes, Symmetry: *symmetry, Trace: tr}
+	var res *solver.Result
+	var err error
+	if *reference {
+		res, err = solver.ReferenceSolve(ctx, a, p, nil, opts)
+	} else {
+		res, err = solver.SolveContext(ctx, a, p, nil, opts)
+	}
 	if *traceOut != "" {
 		// The span records the abandoned search too, so write the trace
 		// before bailing on the error.
@@ -116,9 +129,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	nps := 0.0
+	if sec := res.Elapsed.Seconds(); sec > 0 {
+		nps = float64(res.Explored) / sec
+	}
 	fmt.Printf("architecture: %s\n", a)
 	fmt.Printf("problem:      %d gates\n", p.M())
 	fmt.Printf("optimal depth: %d cycles (%d nodes explored)\n", res.Depth, res.Explored)
+	fmt.Printf("search: %.3fs, %.0f nodes/sec, peak open %d, peak closed %d\n",
+		res.Elapsed.Seconds(), nps, res.PeakOpen, res.Generated)
 	for i, cyc := range res.Cycles {
 		fmt.Printf("cycle %2d:", i)
 		for _, op := range cyc {
@@ -129,6 +148,28 @@ func main() {
 			}
 		}
 		fmt.Println()
+	}
+	if *benchJSON != "" {
+		engine := bench.SolverEnginePacked
+		if *reference {
+			engine = bench.SolverEngineReference
+		} else if *symmetry {
+			engine = bench.SolverEnginePackedSym
+		}
+		doc := &bench.SolverBench{Entries: []bench.SolverBenchEntry{
+			bench.SolverEntryFor(fmt.Sprintf("%s/%s", a.Name, instance), a, p, engine, res),
+		}}
+		f, ferr := os.Create(*benchJSON)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		if werr := doc.WriteJSON(f); werr != nil {
+			log.Fatal(werr)
+		}
+		if cerr := f.Close(); cerr != nil {
+			log.Fatal(cerr)
+		}
+		fmt.Fprintf(os.Stderr, "bench record: %s\n", *benchJSON)
 	}
 }
 

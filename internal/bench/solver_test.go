@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// TestSolverBenchRegression is the CI gate for the depth-optimal solver: it
+// sweeps the §3 family instances (quick sizes in -short mode) across the
+// reference and packed engines and fails on any optimal-depth divergence —
+// RunSolverBench returns that divergence as an error. Set BENCH_SOLVER_OUT
+// to also write the JSON document (how the checked-in BENCH_solver.json is
+// regenerated: BENCH_SOLVER_OUT=BENCH_solver.json go test ./internal/bench
+// -run TestSolverBenchRegression).
+func TestSolverBenchRegression(t *testing.T) {
+	out := os.Getenv("BENCH_SOLVER_OUT")
+	// Heavy (minutes-scale) instances only when regenerating the artifact.
+	cfg := SolverBenchConfig{Quick: testing.Short(), Heavy: out != "", Repeats: 3}
+	if testing.Short() {
+		cfg.Repeats = 2
+	}
+	s, err := RunSolverBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Entries) == 0 {
+		t.Fatal("no benchmark entries produced")
+	}
+	for _, e := range s.Entries {
+		t.Logf("%s %s: depth=%d explored=%d %.3fs %.0f nodes/sec speedup=%.2fx node-ratio=%.2fx",
+			e.Instance, e.Engine, e.Depth, e.Explored, e.Seconds, e.NodesPerSec, e.Speedup, e.NodeRatio)
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := s.WriteJSON(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package solver
+
+import (
+	"testing"
+	"time"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/graph"
+	"github.com/ata-pattern/ataqc/internal/obs"
+)
+
+// solveOnce times one K5/line-5 solve — large enough to expand thousands of
+// nodes through every hot path, small enough for interleaved repetition.
+func solveOnce(t *testing.T, traced bool) time.Duration {
+	t.Helper()
+	var tr *obs.Trace
+	if traced {
+		tr = obs.New()
+	}
+	res, err := Solve(arch.Line(5), graph.Complete(5), nil, Options{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Depth != 8 {
+		t.Fatalf("K5 on line-5: depth %d, want 8", res.Depth)
+	}
+	return res.Elapsed
+}
+
+// TestSolverTracingOverheadGuard holds the solver to the repo-wide <2%
+// tracing-overhead budget: metric handles resolve once before the search
+// loop and the per-expansion updates are deferred to search exit, so a live
+// trace must stay within 2% of the untraced solve (plus a small epsilon for
+// timer granularity). Runs interleave, best-of-N each, to damp scheduler
+// noise.
+func TestSolverTracingOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard")
+	}
+	const rounds = 5
+	maxDur := time.Duration(1<<62 - 1)
+	untraced, traced := maxDur, maxDur
+	// Warm the engine pool and distance tables outside the timed runs.
+	solveOnce(t, false)
+	for i := 0; i < rounds; i++ {
+		if d := solveOnce(t, false); d < untraced {
+			untraced = d
+		}
+		if d := solveOnce(t, true); d < traced {
+			traced = d
+		}
+	}
+	const epsilon = 5 * time.Millisecond
+	limit := untraced + untraced/50 + epsilon // untraced * 1.02 + epsilon
+	if traced > limit {
+		t.Fatalf("traced solve %v exceeds untraced %v by more than 2%%+%v", traced, untraced, epsilon)
+	}
+}
+
+func benchSolve(b *testing.B, traced bool) {
+	a := arch.Line(5)
+	p := graph.Complete(5)
+	a.Distances()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var tr *obs.Trace
+		if traced {
+			tr = obs.New() // fresh per iteration: steady-state span cost, no growth artefact
+		}
+		if _, err := Solve(a, p, nil, Options{Trace: tr}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveNoTrace vs BenchmarkSolveTraced is the honest cost of
+// wiring the search to the observability layer; compare with
+// `go test ./internal/solver -bench Solve`.
+func BenchmarkSolveNoTrace(b *testing.B) { benchSolve(b, false) }
+
+func BenchmarkSolveTraced(b *testing.B) { benchSolve(b, true) }

@@ -11,7 +11,7 @@ import (
 // discovers for small line cliques: 2n-2 cycles (n gate layers + n-2 SWAP
 // layers), the structure §3.1 generalises into the linear pattern.
 func TestLineCliqueOptimalDepths(t *testing.T) {
-	want := map[int]int{2: 1, 3: 4, 4: 6, 5: 8}
+	want := map[int]int{2: 1, 3: 4, 4: 6, 5: 8, 6: 10}
 	for n, d := range want {
 		res, err := Solve(arch.Line(n), graph.Complete(n), nil, Options{})
 		if err != nil {

@@ -16,13 +16,23 @@
 // returns a depth-optimal schedule. The solver is intended for the small
 // sub-problem instances of §3 (1xN lines, 2xN ladders, small grids); its
 // search space is exponential in the architecture size.
+//
+// Two engines live in this package. The default engine (engine.go) packs
+// each state into a flat byte string held in an arena, dedupes states with
+// an open-addressing table, evaluates the heuristic with a closed form and
+// per-edge incremental updates, and prunes dominated expansions; see
+// DESIGN.md "Solver internals" for the encoding and the admissibility
+// argument of each pruning rule. The pre-optimization engine is kept as
+// referenceSolve (reference.go) and serves as the equivalence oracle the
+// property tests and the benchmark harness compare against.
 package solver
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"time"
 
 	"github.com/ata-pattern/ataqc/internal/arch"
 	"github.com/ata-pattern/ataqc/internal/graph"
@@ -44,13 +54,29 @@ type Result struct {
 	Depth    int
 	Cycles   []Cycle
 	Explored int // nodes expanded, for diagnostics
+	// Generated counts the distinct states stored by the search — the
+	// closed-set size (states are deduplicated, so this is also its peak).
+	Generated int
+	// PeakOpen is the high-water mark of the open (frontier) heap.
+	PeakOpen int
+	// Elapsed is the wall-clock time of the search.
+	Elapsed time.Duration
 }
 
 // Options bounds the search.
 type Options struct {
-	// MaxNodes aborts the search after expanding this many nodes
-	// (0 = 2^22).
+	// MaxNodes aborts the search after expanding this many nodes.
+	// 0 means the default budget of 2^22 expansions; a negative value
+	// removes the budget entirely (unbounded search).
 	MaxNodes int
+	// Symmetry canonicalizes states under the architecture's coupling-graph
+	// automorphisms (line reflection; grid flips and, for square grids,
+	// diagonal reflections), merging mirror-image states in the closed set.
+	// Symmetric states have identical distance-to-goal, so the optimal depth
+	// is unchanged; the extracted schedule is mapped back to the original
+	// frame. Architectures without a registered symmetry group are searched
+	// unchanged.
+	Symmetry bool
 	// Trace, when non-nil, records a "solver.astar" span plus the
 	// solver.explored counter and solver.open_set / solver.closed_set
 	// gauges (sampled every interruptStride expansions). Nil costs a
@@ -58,7 +84,8 @@ type Options struct {
 	Trace *obs.Trace
 }
 
-// ErrSearchExhausted is returned when MaxNodes is hit before a terminal.
+// ErrSearchExhausted is returned (wrapped with the explored count and the
+// open/closed set sizes) when MaxNodes is hit before a terminal.
 var ErrSearchExhausted = errors.New("solver: node budget exhausted")
 
 // ErrInterrupted is returned when the search is abandoned because its
@@ -67,6 +94,10 @@ var ErrSearchExhausted = errors.New("solver: node budget exhausted")
 var ErrInterrupted = errors.New("solver: search interrupted")
 
 const maxEdges = 64
+
+// maxLogical bounds the logical qubit count so occupants fit the int8 state
+// encoding shared by both engines.
+const maxLogical = 127
 
 // interruptStride is how many node expansions pass between context polls:
 // cheap enough to bound overrun to a few milliseconds, coarse enough to
@@ -79,36 +110,31 @@ func Solve(a *arch.Arch, problem *graph.Graph, initial []int, opts Options) (*Re
 	return SolveContext(context.Background(), a, problem, initial, opts)
 }
 
-// SolveContext is Solve honoring a context: the expansion loop polls
-// ctx every interruptStride nodes and abandons the search with an
-// ErrInterrupted-wrapped error on cancellation or deadline expiry.
-func SolveContext(ctx context.Context, a *arch.Arch, problem *graph.Graph, initial []int, opts Options) (*Result, error) {
-	edges := problem.Edges()
-	if len(edges) == 0 {
-		return &Result{}, nil
+// resolveMaxNodes maps the Options.MaxNodes encoding (0 = default budget,
+// negative = unbounded) to an effective expansion limit.
+func resolveMaxNodes(v int) int {
+	switch {
+	case v == 0:
+		return 1 << 22
+	case v < 0:
+		return math.MaxInt
+	default:
+		return v
 	}
+}
+
+// startMapping validates the instance and returns the packed initial
+// physical→logical assignment (-1 = empty seat), shared by both engines.
+func startMapping(a *arch.Arch, problem *graph.Graph, edges []graph.Edge, initial []int) ([]int8, error) {
 	if len(edges) > maxEdges {
 		return nil, fmt.Errorf("solver: %d edges exceed the %d-edge limit", len(edges), maxEdges)
 	}
 	if problem.N() > a.N() {
 		return nil, fmt.Errorf("solver: %d logical qubits exceed %d physical", problem.N(), a.N())
 	}
-	maxNodes := opts.MaxNodes
-	if maxNodes == 0 {
-		maxNodes = 1 << 22
+	if problem.N() > maxLogical {
+		return nil, fmt.Errorf("solver: %d logical qubits exceed the %d-qubit limit", problem.N(), maxLogical)
 	}
-
-	s := &search{
-		a:       a,
-		problem: problem,
-		edges:   edges,
-		edgeIdx: make(map[graph.Edge]int, len(edges)),
-		dist:    a.Distances(),
-	}
-	for i, e := range edges {
-		s.edgeIdx[e] = i
-	}
-
 	start := make([]int8, a.N())
 	for i := range start {
 		start[i] = -1
@@ -117,27 +143,38 @@ func SolveContext(ctx context.Context, a *arch.Arch, problem *graph.Graph, initi
 		for l := 0; l < problem.N(); l++ {
 			start[l] = int8(l)
 		}
-	} else {
-		if len(initial) != problem.N() {
-			return nil, fmt.Errorf("solver: initial mapping length %d != %d", len(initial), problem.N())
-		}
-		for l, p := range initial {
-			if p < 0 || p >= a.N() || start[p] != -1 {
-				return nil, fmt.Errorf("solver: bad initial mapping %d->%d", l, p)
-			}
-			start[p] = int8(l)
-		}
+		return start, nil
 	}
-
-	fullMask := uint64(0)
-	for i := range edges {
-		fullMask |= 1 << uint(i)
+	if len(initial) != problem.N() {
+		return nil, fmt.Errorf("solver: initial mapping length %d != %d", len(initial), problem.N())
 	}
+	for l, p := range initial {
+		if p < 0 || p >= a.N() || start[p] != -1 {
+			return nil, fmt.Errorf("solver: bad initial mapping %d->%d", l, p)
+		}
+		start[p] = int8(l)
+	}
+	return start, nil
+}
 
-	root := &node{p2l: start, rem: fullMask, g: 0}
-	root.h = s.heuristic(root)
-	pq := &nodeQueue{root}
-	best := map[string]int{s.key(root): 0}
+// SolveContext is Solve honoring a context: the expansion loop polls
+// ctx every interruptStride nodes and abandons the search with an
+// ErrInterrupted-wrapped error on cancellation or deadline expiry.
+func SolveContext(ctx context.Context, a *arch.Arch, problem *graph.Graph, initial []int, opts Options) (*Result, error) {
+	t0 := time.Now()
+	edges := problem.Edges()
+	if len(edges) == 0 {
+		return &Result{}, nil
+	}
+	start, err := startMapping(a, problem, edges, initial)
+	if err != nil {
+		return nil, err
+	}
+	maxNodes := resolveMaxNodes(opts.MaxNodes)
+
+	e := newEngine(a, problem, edges, opts.Symmetry)
+	defer e.release()
+	e.addRoot(start)
 
 	// Metric handles resolve once before the expansion loop; with a nil
 	// trace every handle is nil and each observation is one pointer check.
@@ -148,231 +185,42 @@ func SolveContext(ctx context.Context, a *arch.Arch, problem *graph.Graph, initi
 	sp := opts.Trace.StartSpan(nil, "solver.astar",
 		obs.Int("qubits", a.N()),
 		obs.Int("edges", len(edges)),
-		obs.Int("max_nodes", maxNodes))
+		obs.Int("max_nodes", opts.MaxNodes))
 
 	explored := 0
 	defer func() {
-		gOpen.Set(int64(pq.Len()))
-		gClosed.Set(int64(len(best)))
+		gOpen.Set(int64(len(e.heap)))
+		gClosed.Set(int64(e.nodes()))
 		sp.SetAttrs(obs.Int("explored", explored))
 		sp.End()
 	}()
-	for pq.Len() > 0 {
-		cur := heap.Pop(pq).(*node)
-		if cur.rem == 0 {
-			sp.SetAttrs(obs.Int("depth", cur.g))
-			return &Result{Depth: cur.g, Cycles: s.extract(cur), Explored: explored}, nil
-		}
-		if g, ok := best[s.key(cur)]; ok && cur.g > g {
-			continue // stale entry
+	for len(e.heap) > 0 {
+		cur := e.heapPop()
+		if e.remOf(cur) == 0 {
+			sp.SetAttrs(obs.Int("depth", int(e.g[cur])))
+			return &Result{
+				Depth:     int(e.g[cur]),
+				Cycles:    e.extract(cur),
+				Explored:  explored,
+				Generated: e.nodes(),
+				PeakOpen:  e.peakOpen,
+				Elapsed:   time.Since(t0),
+			}, nil
 		}
 		explored++
 		mExplored.Add(1)
 		if explored > maxNodes {
-			return nil, ErrSearchExhausted
+			return nil, fmt.Errorf("%w after %d nodes (open %d, closed %d)",
+				ErrSearchExhausted, explored, len(e.heap), e.nodes())
 		}
 		if explored%interruptStride == 0 {
-			gOpen.Set(int64(pq.Len()))
-			gClosed.Set(int64(len(best)))
+			gOpen.Set(int64(len(e.heap)))
+			gClosed.Set(int64(e.nodes()))
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("%w after %d nodes: %w", ErrInterrupted, explored, err)
 			}
 		}
-		s.expand(cur, func(child *node) {
-			k := s.key(child)
-			if g, ok := best[k]; ok && g <= child.g {
-				return
-			}
-			best[k] = child.g
-			child.h = s.heuristic(child)
-			heap.Push(pq, child)
-		})
+		e.expand(cur)
 	}
 	return nil, errors.New("solver: no terminal reachable (disconnected problem?)")
-}
-
-type node struct {
-	p2l    []int8 // physical -> logical (-1 empty)
-	rem    uint64 // bitmask of unscheduled problem edges
-	g, h   int
-	parent *node
-	via    Cycle // the cycle applied to parent to reach this node
-	idx    int   // heap index
-}
-
-type search struct {
-	a       *arch.Arch
-	problem *graph.Graph
-	edges   []graph.Edge
-	edgeIdx map[graph.Edge]int
-	dist    [][]int
-}
-
-func (s *search) key(n *node) string {
-	buf := make([]byte, len(n.p2l)+8)
-	for i, v := range n.p2l {
-		buf[i] = byte(v + 1)
-	}
-	for i := 0; i < 8; i++ {
-		buf[len(n.p2l)+i] = byte(n.rem >> (8 * uint(i)))
-	}
-	return string(buf)
-}
-
-// remDegree returns the remaining problem degree of logical qubit l.
-func (s *search) remDegree(n *node, l int8) int {
-	d := 0
-	for i, e := range s.edges {
-		if n.rem&(1<<uint(i)) != 0 && (int(l) == e.U || int(l) == e.V) {
-			d++
-		}
-	}
-	return d
-}
-
-// heuristic is h(v) of Definition 4.
-func (s *search) heuristic(n *node) int {
-	l2p := make([]int, s.problem.N())
-	for p, l := range n.p2l {
-		if l >= 0 {
-			l2p[l] = p
-		}
-	}
-	h := 0
-	degCache := make(map[int8]int)
-	deg := func(l int8) int {
-		if d, ok := degCache[l]; ok {
-			return d
-		}
-		d := s.remDegree(n, l)
-		degCache[l] = d
-		return d
-	}
-	for i, e := range s.edges {
-		if n.rem&(1<<uint(i)) == 0 {
-			continue
-		}
-		d := s.dist[l2p[e.U]][l2p[e.V]]
-		du, dv := deg(int8(e.U)), deg(int8(e.V))
-		best := 1 << 30
-		for x := 0; x < d; x++ {
-			c := du + x
-			if o := dv + d - 1 - x; o > c {
-				c = o
-			}
-			if c < best {
-				best = c
-			}
-		}
-		if best > h {
-			h = best
-		}
-	}
-	return h
-}
-
-// expand enumerates all child nodes: every non-empty matching of actions,
-// where each coupling edge may host a SWAP or (if its occupants form a
-// remaining gate) the gate.
-func (s *search) expand(n *node, yield func(*node)) {
-	couplings := s.a.G.Edges()
-	// Candidate actions per coupling edge: 1 = swap, plus gate if available.
-	type action struct {
-		p, q    int
-		gate    bool
-		edgeBit uint64
-		tag     graph.Edge
-	}
-	var acts []action
-	for _, ce := range couplings {
-		lu, lv := n.p2l[ce.U], n.p2l[ce.V]
-		acts = append(acts, action{p: ce.U, q: ce.V})
-		if lu >= 0 && lv >= 0 {
-			t := graph.NewEdge(int(lu), int(lv))
-			if i, ok := s.edgeIdx[t]; ok && n.rem&(1<<uint(i)) != 0 {
-				acts = append(acts, action{p: ce.U, q: ce.V, gate: true, edgeBit: 1 << uint(i), tag: t})
-			}
-		}
-	}
-	// Depth-first enumeration of qubit-disjoint subsets.
-	used := make([]bool, s.a.N())
-	var chosen []action
-	var rec func(i int)
-	rec = func(i int) {
-		if i == len(acts) {
-			if len(chosen) == 0 {
-				return
-			}
-			child := &node{
-				p2l:    append([]int8(nil), n.p2l...),
-				rem:    n.rem,
-				g:      n.g + 1,
-				parent: n,
-			}
-			cyc := make(Cycle, 0, len(chosen))
-			for _, a := range chosen {
-				if a.gate {
-					child.rem &^= a.edgeBit
-					cyc = append(cyc, Op{P: a.p, Q: a.q, Gate: true, Tag: a.tag})
-				} else {
-					child.p2l[a.p], child.p2l[a.q] = child.p2l[a.q], child.p2l[a.p]
-					cyc = append(cyc, Op{P: a.p, Q: a.q})
-				}
-			}
-			child.via = cyc
-			yield(child)
-			return
-		}
-		a := acts[i]
-		if !used[a.p] && !used[a.q] {
-			used[a.p], used[a.q] = true, true
-			chosen = append(chosen, a)
-			rec(i + 1)
-			chosen = chosen[:len(chosen)-1]
-			used[a.p], used[a.q] = false, false
-		}
-		rec(i + 1)
-	}
-	rec(0)
-}
-
-func (s *search) extract(n *node) []Cycle {
-	var rev []Cycle
-	for cur := n; cur.parent != nil; cur = cur.parent {
-		rev = append(rev, cur.via)
-	}
-	out := make([]Cycle, len(rev))
-	for i := range rev {
-		out[i] = rev[len(rev)-1-i]
-	}
-	return out
-}
-
-// nodeQueue is a min-heap on f = g + h (ties broken toward larger g, which
-// prefers deeper nodes and speeds up goal discovery).
-type nodeQueue []*node
-
-func (q nodeQueue) Len() int { return len(q) }
-func (q nodeQueue) Less(i, j int) bool {
-	fi, fj := q[i].g+q[i].h, q[j].g+q[j].h
-	if fi != fj {
-		return fi < fj
-	}
-	return q[i].g > q[j].g
-}
-func (q nodeQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx, q[j].idx = i, j
-}
-func (q *nodeQueue) Push(x any) {
-	n := x.(*node)
-	n.idx = len(*q)
-	*q = append(*q, n)
-}
-func (q *nodeQueue) Pop() any {
-	old := *q
-	n := old[len(old)-1]
-	old[len(old)-1] = nil
-	*q = old[:len(old)-1]
-	return n
 }

@@ -1,6 +1,8 @@
 package solver
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"github.com/ata-pattern/ataqc/internal/arch"
@@ -190,8 +192,28 @@ func TestNodeBudget(t *testing.T) {
 	a := arch.Line(5)
 	p := graph.Complete(5)
 	_, err := Solve(a, p, nil, Options{MaxNodes: 10})
-	if err != ErrSearchExhausted {
+	if !errors.Is(err, ErrSearchExhausted) {
 		t.Fatalf("want ErrSearchExhausted, got %v", err)
+	}
+	// The error carries budget-tuning diagnostics: explored count plus
+	// open/closed set sizes.
+	for _, want := range []string{"after 11 nodes", "open", "closed"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("exhaustion error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestMaxNodesNegativeIsUnbounded(t *testing.T) {
+	// A negative budget must never trip ErrSearchExhausted; K4 on line-4
+	// needs well over 10 expansions, so MaxNodes: -1 differs observably
+	// from a small positive budget.
+	res, err := Solve(arch.Line(4), graph.Complete(4), nil, Options{MaxNodes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Depth != 6 {
+		t.Fatalf("depth %d, want 6", res.Depth)
 	}
 }
 
@@ -220,7 +242,7 @@ func TestHeuristicAdmissibleSpotCheck(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s := &search{
+		s := &refSearch{
 			a: tc.a, problem: tc.p, edges: tc.p.Edges(),
 			edgeIdx: map[graph.Edge]int{}, dist: tc.a.Distances(),
 		}
@@ -235,7 +257,7 @@ func TestHeuristicAdmissibleSpotCheck(t *testing.T) {
 			start[l] = int8(l)
 		}
 		full := uint64(1)<<uint(len(s.edges)) - 1
-		h := s.heuristic(&node{p2l: start, rem: full})
+		h := s.heuristic(&refNode{p2l: start, rem: full})
 		if h > res.Depth {
 			t.Fatalf("h(root)=%d exceeds optimal %d for %s", h, res.Depth, tc.a.Name)
 		}

@@ -1,0 +1,118 @@
+package solver
+
+import (
+	"github.com/ata-pattern/ataqc/internal/arch"
+)
+
+// automorphisms returns the coupling-graph automorphism group the engine
+// canonicalizes states under, identity first. Only the families with a
+// registered symmetry are reduced: line architectures (reflection) and grid
+// architectures (row/column flips, plus the diagonal reflections when the
+// grid is square — the full dihedral group). Every candidate permutation is
+// verified to preserve the coupling graph before use, so a geometry change
+// in the constructors degrades to no reduction instead of a wrong answer.
+// With enabled=false (or an unrecognized family) only the identity is
+// returned. The reuse slice's backing storage is recycled when possible.
+func automorphisms(a *arch.Arch, enabled bool, reuse [][]int16) [][]int16 {
+	np := a.N()
+	out := reuse[:0]
+	id := make([]int16, np)
+	for i := range id {
+		id[i] = int16(i)
+	}
+	out = append(out, id)
+	if !enabled {
+		return out
+	}
+
+	var gens [][]int16
+	switch a.Kind {
+	case arch.KindLine:
+		r := make([]int16, np)
+		for i := range r {
+			r[i] = int16(np - 1 - i)
+		}
+		gens = append(gens, r)
+	case arch.KindGrid:
+		rows, cols := 0, 0
+		for _, c := range a.Coords {
+			if c.Row+1 > rows {
+				rows = c.Row + 1
+			}
+			if c.Col+1 > cols {
+				cols = c.Col + 1
+			}
+		}
+		if rows*cols != np {
+			return out // not the dense row-major layout the perms assume
+		}
+		pos := func(r, c int) int16 { return int16(r*cols + c) }
+		flipR := make([]int16, np)
+		flipC := make([]int16, np)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				flipR[pos(r, c)] = pos(rows-1-r, c)
+				flipC[pos(r, c)] = pos(r, cols-1-c)
+			}
+		}
+		gens = append(gens, flipR, flipC)
+		if rows == cols {
+			tr := make([]int16, np)
+			for r := 0; r < rows; r++ {
+				for c := 0; c < cols; c++ {
+					tr[pos(r, c)] = pos(c, r)
+				}
+			}
+			gens = append(gens, tr)
+		}
+	default:
+		return out
+	}
+
+	for i := range gens {
+		if !isAutomorphism(a, gens[i]) {
+			return out[:1]
+		}
+	}
+
+	// Close the generators under composition (the groups here have at most
+	// 8 elements, so a simple fixed-point loop suffices).
+	seen := map[string]bool{permKey(id): true}
+	group := [][]int16{id}
+	for changed := true; changed; {
+		changed = false
+		for _, g := range group {
+			for _, gen := range gens {
+				comp := make([]int16, np)
+				for p := range comp {
+					comp[p] = gen[g[p]]
+				}
+				if k := permKey(comp); !seen[k] {
+					seen[k] = true
+					group = append(group, comp)
+					changed = true
+				}
+			}
+		}
+	}
+	return append(out, group[1:]...)
+}
+
+// isAutomorphism verifies that perm maps every coupling onto a coupling.
+func isAutomorphism(a *arch.Arch, perm []int16) bool {
+	for _, e := range a.G.Edges() {
+		if !a.G.HasEdge(int(perm[e.U]), int(perm[e.V])) {
+			return false
+		}
+	}
+	return true
+}
+
+func permKey(p []int16) string {
+	b := make([]byte, 2*len(p))
+	for i, v := range p {
+		b[2*i] = byte(v)
+		b[2*i+1] = byte(v >> 8)
+	}
+	return string(b)
+}

@@ -13,7 +13,7 @@ import (
 // solver on small line cliques. The generalised pattern is within one SWAP
 // layer of optimal — the pattern the paper derived from the same solver.
 func TestLinearPatternNearOptimal(t *testing.T) {
-	for _, n := range []int{3, 4, 5} {
+	for _, n := range []int{3, 4, 5, 6} {
 		a := arch.Line(n)
 		p := graph.Complete(n)
 		opt, err := solver.Solve(a, p, nil, solver.Options{})
