@@ -269,6 +269,7 @@ type Result struct {
 	final         []int
 	metrics       core.Metrics
 	strategy      Strategy
+	angle         float64
 	degraded      bool
 	degradeReason core.DegradeReason
 	timeline      core.Timeline
@@ -303,7 +304,13 @@ func CompileContext(ctx context.Context, dev *Device, p *Problem, opts Options) 
 		}
 		nm = dev.noise
 	}
-	res := &Result{dev: dev, problem: p, strategy: strategy}
+	res := &Result{dev: dev, problem: p, strategy: strategy, angle: opts.Angle}
+	if res.angle == 0 {
+		// Every compiler (core modes and baselines) records angle 1 on its
+		// program gates when none is given; remember the effective value so
+		// Lint's sema analyzer pins terms to what was actually emitted.
+		res.angle = 1
+	}
 	switch strategy {
 	case StrategyHybrid, StrategyGreedy, StrategyATA:
 		mode := core.ModeHybrid
@@ -403,27 +410,62 @@ func (r *Result) FinalMapping() []int {
 
 // Diagnostic is one finding from the static circuit verifier: a named
 // analyzer, a severity, the offending gate's index in the compiled stream
-// (-1 for circuit-level findings), and a human-readable message.
+// (-1 for circuit-level findings), the gate's operands, and a
+// human-readable message.
 type Diagnostic struct {
-	Analyzer string // e.g. "arch-conformance", "dead-swap"
+	Analyzer string // e.g. "arch-conformance", "sema", "dead-swap"
 	Severity string // "error" or "warning"
 	Gate     int    // gate index; -1 = whole-circuit finding
-	Message  string
+	// Kind is the offending gate's mnemonic ("zz", "swap", ...); empty for
+	// circuit-level findings.
+	Kind string
+	// Q0, Q1 are the gate's physical operands (Q1 = -1 for 1q gates; both
+	// -1 for circuit-level findings).
+	Q0, Q1 int
+	// L0, L1 are the logical qubits resident on Q0/Q1 when the gate
+	// executes (-1 when unknown).
+	L0, L1  int
+	Message string
 }
 
 func (d Diagnostic) String() string {
-	if d.Gate < 0 {
-		return fmt.Sprintf("%s: %s: %s", d.Severity, d.Analyzer, d.Message)
+	v := verify.Diagnostic{
+		Analyzer: d.Analyzer,
+		Gate:     d.Gate,
+		Kind:     d.Kind,
+		Q0:       d.Q0, Q1: d.Q1,
+		L0: d.L0, L1: d.L1,
+		Message: d.Message,
 	}
-	return fmt.Sprintf("%s: %s: gate %d: %s", d.Severity, d.Analyzer, d.Gate, d.Message)
+	if d.Severity == "warning" {
+		v.Severity = verify.SeverityWarning
+	}
+	return v.String()
+}
+
+// AnalyzerStatus reports whether one analyzer actually ran during Lint.
+// A skipped analyzer proves nothing about its invariant, so CI that diffs
+// lint output should also diff the status list.
+type AnalyzerStatus struct {
+	Analyzer string // analyzer name
+	Skipped  bool   // true when required context was missing
+	Reason   string // which context was missing ("" when it ran)
 }
 
 // Lint runs every verification analyzer over the compiled circuit: coupling
-// conformance, permutation soundness, interaction coverage, depth
-// consistency, and dead-SWAP detection. Compile already enforces the
-// error-severity analyzers on every result, so a successful compilation can
-// only yield warning-severity findings here.
+// conformance, permutation soundness, interaction coverage, phase-polynomial
+// semantic equivalence, depth consistency, and dead-SWAP detection. Compile
+// already enforces the error-severity analyzers on every result, so a
+// successful compilation can only yield warning-severity findings here.
 func (r *Result) Lint() []Diagnostic {
+	diags, _ := r.LintStatus()
+	return diags
+}
+
+// LintStatus is Lint plus per-analyzer accounting: the second return lists
+// every analyzer with a skipped marker for those whose required context was
+// missing.
+func (r *Result) LintStatus() ([]Diagnostic, []AnalyzerStatus) {
 	pass := &verify.Pass{
 		Circuit:       r.circuit,
 		Arch:          r.dev.arch,
@@ -432,17 +474,26 @@ func (r *Result) Lint() []Diagnostic {
 		Final:         r.final,
 		ReportedDepth: r.metrics.Depth,
 		CheckDepth:    true,
+		Angle:         r.angle,
 	}
+	diags, statuses := verify.RunStatus(pass, verify.All...)
 	var out []Diagnostic
-	for _, d := range verify.Run(pass, verify.All...) {
+	for _, d := range diags {
 		out = append(out, Diagnostic{
 			Analyzer: d.Analyzer,
 			Severity: d.Severity.String(),
 			Gate:     d.Gate,
-			Message:  d.Message,
+			Kind:     d.Kind,
+			Q0:       d.Q0, Q1: d.Q1,
+			L0: d.L0, L1: d.L1,
+			Message: d.Message,
 		})
 	}
-	return out
+	sts := make([]AnalyzerStatus, len(statuses))
+	for i, s := range statuses {
+		sts[i] = AnalyzerStatus{Analyzer: s.Name, Skipped: s.Skipped, Reason: s.Reason}
+	}
+	return out, sts
 }
 
 // WriteQASM emits the compiled circuit as OpenQASM 2.0.

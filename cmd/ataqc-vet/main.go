@@ -1,0 +1,125 @@
+// Command ataqc-vet runs the repo's custom static analyzers (internal/vet)
+// over the codebase, next to `go vet` in CI. The analyzers enforce the
+// contracts generic vet cannot know about:
+//
+//	maprange    no map-range iteration where output order is part of the
+//	            deterministic-compilation contract
+//	walltime    no time.Now/Since/Until or global math/rand source in
+//	            compile paths (clocks and randomness are injected)
+//	obsspan     every obs span opened in a function is ended on all
+//	            return paths
+//	nakedpanic  panic arguments are package-prefixed invariant messages,
+//	            never bare error values (DESIGN.md panic-audit rule)
+//
+// Usage:
+//
+//	ataqc-vet [-json] [-list] [packages]
+//
+// Packages default to ./... relative to the module root (found by walking
+// up from the working directory). Audited sites are suppressed in source
+// with `//vet:ignore <analyzer> <justification>` on the offending line or
+// the line above.
+//
+// Exit codes: 0 = clean, 1 = findings, 2 = usage or load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/ata-pattern/ataqc/internal/vet"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		asJSON = flag.Bool("json", false, "emit one JSON finding per line")
+		list   = flag.Bool("list", false, "list the analyzers and their contracts, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range vet.All {
+			fmt.Printf("%s\n%s\n\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ataqc-vet:", err)
+		return 2
+	}
+	loader, err := vet.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ataqc-vet:", err)
+		return 2
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := loader.Match(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ataqc-vet:", err)
+		return 2
+	}
+
+	findings := 0
+	enc := json.NewEncoder(os.Stdout)
+	for _, dir := range dirs {
+		pass, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ataqc-vet:", err)
+			return 2
+		}
+		for _, d := range vet.RunPackage(pass, vet.All...) {
+			findings++
+			if *asJSON {
+				rel := d.Pos.Filename
+				if r, err := filepath.Rel(root, rel); err == nil {
+					rel = r
+				}
+				if err := enc.Encode(struct {
+					Analyzer string `json:"analyzer"`
+					File     string `json:"file"`
+					Line     int    `json:"line"`
+					Col      int    `json:"col"`
+					Message  string `json:"message"`
+				}{d.Analyzer, rel, d.Pos.Line, d.Pos.Column, d.Message}); err != nil {
+					fmt.Fprintln(os.Stderr, "ataqc-vet:", err)
+					return 2
+				}
+			} else {
+				fmt.Println(d)
+			}
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "ataqc-vet: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

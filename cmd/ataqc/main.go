@@ -155,6 +155,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "note: compile budget ran out; degraded to the structured ATA fallback (%s)\n", res.DegradeReason())
 	}
 
+	// The QASM file is written before the output branches so -json and
+	// -qasm compose: JSON on stdout, circuit on disk.
+	if *qasmOut != "" {
+		f, err := os.Create(*qasmOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.WriteQASM(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	if *asJSON {
 		out := map[string]any{
 			"device":       dev.Name(),
@@ -174,6 +189,9 @@ func main() {
 		}
 		if *noisy {
 			out["estimatedFidelity"] = res.EstimatedFidelity()
+		}
+		if *qasmOut != "" {
+			out["qasm"] = *qasmOut
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -199,14 +217,6 @@ func main() {
 		}
 	}
 	if *qasmOut != "" {
-		f, err := os.Create(*qasmOut)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		if err := res.WriteQASM(f); err != nil {
-			log.Fatal(err)
-		}
 		fmt.Printf("qasm:          %s\n", *qasmOut)
 	}
 }

@@ -25,7 +25,7 @@ import (
 func main() {
 	var (
 		quick    = flag.Bool("quick", false, "run reduced sizes (fast)")
-		exps     = flag.String("exp", "all", "comma-separated experiment ids: fig17,fig20,fig22,table1,table2,table3,table4,tvd,fig24,fig25,fig26")
+		exps     = flag.String("exp", "all", "comma-separated experiment ids: fig17,fig20,fig22,table1,table2,table3,table4,tvd,fig24,fig25,fig26,ablations,sema")
 		out      = flag.String("out", "", "write markdown to this file instead of stdout")
 		trials   = flag.Int("trials", 0, "graphs per cell (default: 10 full / 3 quick)")
 		seed     = flag.Int64("seed", 1, "workload seed")
@@ -106,6 +106,7 @@ func main() {
 		{"fig25", func() (*bench.Report, error) { return bench.RunConvergence(cfg, fig25Qubits, convRounds) }},
 		{"fig26", func() (*bench.Report, error) { return bench.RunCompileTime(cfg) }},
 		{"ablations", func() (*bench.Report, error) { return bench.RunAblations(cfg) }},
+		{"sema", func() (*bench.Report, error) { return bench.RunSemaAudit(cfg) }},
 	}
 
 	selected := map[string]bool{}

@@ -204,7 +204,7 @@ func RegularWorkload(n int, density float64, trials int, seed int64) Workload {
 			// Audit note: only in-repo experiment configs with known-feasible
 			// (n, density) pairs reach this; infeasibility here is a broken
 			// experiment table, which is an internal invariant.
-			panic(err)
+			panic(fmt.Sprintf("bench: infeasible workload reg-%d-%.1f: %v", n, density, err))
 		}
 		w.Graphs = append(w.Graphs, g)
 	}

@@ -232,8 +232,20 @@ func CompileContext(ctx context.Context, a *arch.Arch, problem *graph.Graph, opt
 		obs.Int("workers", opts.Workers))
 	defer rec.root.End()
 	bud := newBudget(ctx, start, opts, rec.clock)
-	place := rec.phase("place")
 	initial := opts.InitialMapping
+	if initial != nil {
+		// User-supplied mappings are an input boundary: reject them with a
+		// typed error instead of letting the builder panic downstream. The
+		// checks run before the place phase opens so the early returns
+		// cannot leak its span.
+		if len(initial) != problem.N() {
+			return nil, fmt.Errorf("core: initial mapping covers %d logical qubits, problem has %d", len(initial), problem.N())
+		}
+		if verr := swapnet.ValidateMapping(a, initial); verr != nil {
+			return nil, fmt.Errorf("core: invalid initial mapping: %w", verr)
+		}
+	}
+	place := rec.phase("place")
 	if initial == nil {
 		initial = greedy.InitialMapping(a, problem)
 		// Refine with a bounded hill-climb; passes shrink with size to keep
@@ -246,15 +258,6 @@ func CompileContext(ctx context.Context, a *arch.Arch, problem *graph.Graph, opt
 			passes = 6
 		}
 		initial = greedy.RefinePlacement(a, problem, initial, passes)
-	} else {
-		// User-supplied mappings are an input boundary: reject them with a
-		// typed error instead of letting the builder panic downstream.
-		if len(initial) != problem.N() {
-			return nil, fmt.Errorf("core: initial mapping covers %d logical qubits, problem has %d", len(initial), problem.N())
-		}
-		if verr := swapnet.ValidateMapping(a, initial); verr != nil {
-			return nil, fmt.Errorf("core: invalid initial mapping: %w", verr)
-		}
 	}
 	place.end()
 	if opts.Mode != ModeGreedy && !swapnet.HasATA(a) {
@@ -298,6 +301,7 @@ func CompileContext(ctx context.Context, a *arch.Arch, problem *graph.Graph, opt
 		Final:         res.Final,
 		ReportedDepth: res.Metrics.Depth,
 		CheckDepth:    true,
+		Angle:         opts.Angle,
 	}
 	analyzers := verify.Strict
 	if opts.Verify {
@@ -307,10 +311,10 @@ func CompileContext(ctx context.Context, a *arch.Arch, problem *graph.Graph, opt
 	if opts.Verify {
 		res.Diagnostics = diags
 	}
+	vp.end()
 	if vErr := verify.AsError(diags); vErr != nil {
 		return nil, fmt.Errorf("core: produced invalid circuit: %w", vErr)
 	}
-	vp.end()
 	rec.root.SetAttrs(obs.Str("source", res.Source), obs.Int("depth", res.Metrics.Depth))
 	elapsed := rec.clock.Now().Sub(start)
 	res.Metrics.CompileTime = elapsed
@@ -475,6 +479,7 @@ func detectRegions(st *swapnet.State, c *swapnet.PatternCache) []arch.Region {
 		compPhys[root] = append(compPhys[root], st.L2P[e.U], st.L2P[e.V])
 	}
 	var regions []arch.Region
+	//vet:ignore maprange regions are sorted (sortRegions) before any order-sensitive use
 	for _, phys := range compPhys {
 		regions = append(regions, normalize(st.A, arch.EnclosingRegion(st.A, phys)))
 	}

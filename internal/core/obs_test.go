@@ -9,6 +9,7 @@ import (
 	"github.com/ata-pattern/ataqc/internal/arch"
 	"github.com/ata-pattern/ataqc/internal/graph"
 	"github.com/ata-pattern/ataqc/internal/obs"
+	"github.com/ata-pattern/ataqc/internal/verify"
 )
 
 // qasmBytes renders a result's circuit so two compiles can be compared
@@ -176,6 +177,82 @@ func TestTracingOverheadGuard(t *testing.T) {
 	limit := untraced + untraced/50 + epsilon // untraced * 1.02 + epsilon
 	if traced > limit {
 		t.Fatalf("traced compile %v exceeds untraced %v by more than 2%%+%v", traced, untraced, epsilon)
+	}
+}
+
+// semaPass rebuilds the verification pass Compile ran for a result, so the
+// sema analyzer can be re-timed in isolation.
+func semaPass(a *arch.Arch, p *graph.Graph, res *Result) *verify.Pass {
+	return &verify.Pass{
+		Circuit: res.Circuit,
+		Arch:    a,
+		Problem: p,
+		Initial: res.Initial,
+		Final:   res.Final,
+	}
+}
+
+// TestSemaOverheadGuard enforces the <2% semantic-verification budget: the
+// phase-polynomial extraction is a single O(gates) sweep over the compiled
+// stream, so proving the output equivalent to the problem Hamiltonian must
+// cost under 2% of the compile that produced it. Best-of-N on both sides
+// damps scheduler noise; the epsilon absorbs timer granularity.
+func TestSemaOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard")
+	}
+	a := arch.GridN(36)
+	p := testProblem(t, 36, 0.5, 7)
+	res, err := Compile(a, p, Options{Workers: 1}) // warm caches
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 5
+	maxDur := time.Duration(1<<62 - 1)
+	compile, sema := maxDur, maxDur
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		if _, err := Compile(a, p, Options{Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < compile {
+			compile = d
+		}
+	}
+	pass := semaPass(a, p, res)
+	for i := 0; i < rounds*4; i++ {
+		start := time.Now()
+		if diags := verify.Run(pass, verify.Sema); len(diags) != 0 {
+			t.Fatalf("sema flagged the compiled circuit: %v", diags)
+		}
+		if d := time.Since(start); d < sema {
+			sema = d
+		}
+	}
+	const epsilon = 2 * time.Millisecond
+	limit := compile/50 + epsilon // 2% of compile + epsilon
+	if sema > limit {
+		t.Fatalf("sema verification %v exceeds 2%% of compile %v (+%v)", sema, compile, epsilon)
+	}
+}
+
+// BenchmarkSemaVerify is the standalone cost of the semantic-equivalence
+// proof on a realistic compiled circuit; compare against BenchmarkCompileNoTrace
+// for the relative overhead.
+func BenchmarkSemaVerify(b *testing.B) {
+	a := arch.GridN(36)
+	rng := rand.New(rand.NewSource(7))
+	p := graph.GnpConnected(36, 0.5, rng)
+	res, err := Compile(a, p, Options{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pass := semaPass(a, p, res)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if diags := verify.Run(pass, verify.Sema); len(diags) != 0 {
+			b.Fatal(diags)
+		}
 	}
 }
 

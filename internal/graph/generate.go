@@ -115,6 +115,7 @@ func circulantShuffled(n, d int, rng *rand.Rand) *Graph {
 		edges[i], edges[j] = n1, n2
 	}
 	g := New(n)
+	//vet:ignore maprange set insertion is order-independent
 	for e := range set {
 		g.AddEdge(e.U, e.V)
 	}
@@ -126,7 +127,7 @@ func circulantShuffled(n, d int, rng *rand.Rand) *Graph {
 func MustRandomRegular(n, d int, rng *rand.Rand) *Graph {
 	g, err := RandomRegular(n, d, rng)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("graph: infeasible regular graph (n=%d, d=%d): %v", n, d, err))
 	}
 	return g
 }

@@ -110,6 +110,7 @@ func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
 // Edges returns all edges in canonical order, sorted for determinism.
 func (g *Graph) Edges() []Edge {
 	es := make([]Edge, 0, len(g.set))
+	//vet:ignore maprange collected edges are sorted before returning
 	for e := range g.set {
 		es = append(es, e)
 	}
@@ -125,6 +126,7 @@ func (g *Graph) Edges() []Edge {
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
 	c := New(g.n)
+	//vet:ignore maprange set insertion is order-independent
 	for e := range g.set {
 		c.AddEdge(e.U, e.V)
 	}

@@ -247,6 +247,7 @@ func Compile(a *arch.Arch, problem *graph.Graph, initial []int, opts Options) (*
 		for i := range touched {
 			touched[i] = false
 		}
+		//vet:ignore maprange idempotent flag writes, order-independent
 		for q := range busy {
 			touched[q] = true
 		}
@@ -592,6 +593,7 @@ func (ws *workspace) proposeSwaps(a *arch.Arch, b *circuit.Builder, dist [][]int
 // routing: four times the median link error, floored at 10%.
 func vetoThreshold(nm *noise.Model) float64 {
 	errs := make([]float64, 0, len(nm.TwoQubit))
+	//vet:ignore maprange collected values are sorted before use
 	for _, e := range nm.TwoQubit {
 		errs = append(errs, e)
 	}

@@ -233,6 +233,7 @@ func (m *MetricsSnapshot) HistogramNames() []string { return sortedKeys(m.Histog
 
 func sortedKeys[V any](m map[string]V) []string {
 	out := make([]string, 0, len(m))
+	//vet:ignore maprange collected keys are sorted before returning
 	for k := range m {
 		out = append(out, k)
 	}
@@ -252,12 +253,15 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	//vet:ignore maprange map-to-map copy, order-independent
 	for k, c := range r.counters {
 		s.Counters[k] = c.Value()
 	}
+	//vet:ignore maprange map-to-map copy, order-independent
 	for k, g := range r.gauges {
 		s.Gauges[k] = GaugeSnapshot{Value: g.Value(), Max: g.Max()}
 	}
+	//vet:ignore maprange map-to-map copy, order-independent
 	for k, h := range r.hists {
 		s.Histograms[k] = h.snapshot()
 	}

@@ -28,7 +28,7 @@ type Clock interface {
 
 type systemClock struct{}
 
-func (systemClock) Now() time.Time { return time.Now() }
+func (systemClock) Now() time.Time { return time.Now() } //vet:ignore walltime this IS the injected clock's system default
 
 // SystemClock is the wall/monotonic clock used by default.
 var SystemClock Clock = systemClock{}

@@ -82,10 +82,12 @@ func (in *Instance) prepared(gamma, beta float64, nm *noise.Model) (*circuit.Cir
 			IdlePerCycle:    nm.IdlePerCycle,
 			CrosstalkFactor: nm.CrosstalkFactor,
 		}
+		//vet:ignore maprange indexed writes into disjoint slots, order-independent
 		for old, nw := range remap {
 			cnm.SingleQubit[nw] = nm.SingleQubit[old]
 			cnm.Readout[nw] = nm.Readout[old]
 		}
+		//vet:ignore maprange map-to-map copy, order-independent
 		for e, v := range nm.TwoQubit {
 			nu, okU := remap[e.U]
 			nv, okV := remap[e.V]

@@ -140,6 +140,7 @@ func SampleCounts(probs []float64, shots int, rng *rand.Rand) map[int]int {
 // over the same basis size.
 func CountsToDistribution(counts map[int]int, size, shots int) []float64 {
 	p := make([]float64, size)
+	//vet:ignore maprange indexed writes into disjoint slots, order-independent
 	for b, c := range counts {
 		p[b] = float64(c) / float64(shots)
 	}

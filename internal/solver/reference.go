@@ -5,10 +5,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"time"
 
 	"github.com/ata-pattern/ataqc/internal/arch"
 	"github.com/ata-pattern/ataqc/internal/graph"
+	"github.com/ata-pattern/ataqc/internal/obs"
 )
 
 // This file preserves the pre-optimization A* engine verbatim in behavior:
@@ -29,7 +29,8 @@ func ReferenceSolve(ctx context.Context, a *arch.Arch, problem *graph.Graph, ini
 
 // referenceSolve is the pre-PR SolveContext body.
 func referenceSolve(ctx context.Context, a *arch.Arch, problem *graph.Graph, initial []int, opts Options) (*Result, error) {
-	t0 := time.Now()
+	clock := obs.ClockOf(opts.Trace)
+	t0 := clock.Now()
 	edges := problem.Edges()
 	if len(edges) == 0 {
 		return &Result{}, nil
@@ -71,7 +72,7 @@ func referenceSolve(ctx context.Context, a *arch.Arch, problem *graph.Graph, ini
 				Explored:  explored,
 				Generated: len(best),
 				PeakOpen:  peakOpen,
-				Elapsed:   time.Since(t0),
+				Elapsed:   clock.Now().Sub(t0),
 			}, nil
 		}
 		if g, ok := best[s.key(cur)]; ok && cur.g > g {

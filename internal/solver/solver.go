@@ -161,7 +161,10 @@ func startMapping(a *arch.Arch, problem *graph.Graph, edges []graph.Edge, initia
 // ctx every interruptStride nodes and abandons the search with an
 // ErrInterrupted-wrapped error on cancellation or deadline expiry.
 func SolveContext(ctx context.Context, a *arch.Arch, problem *graph.Graph, initial []int, opts Options) (*Result, error) {
-	t0 := time.Now()
+	// Elapsed is timed against the trace's injected clock (SystemClock when
+	// untraced) so governed tests can run the solver under synthetic time.
+	clock := obs.ClockOf(opts.Trace)
+	t0 := clock.Now()
 	edges := problem.Edges()
 	if len(edges) == 0 {
 		return &Result{}, nil
@@ -204,7 +207,7 @@ func SolveContext(ctx context.Context, a *arch.Arch, problem *graph.Graph, initi
 				Explored:  explored,
 				Generated: e.nodes(),
 				PeakOpen:  e.peakOpen,
-				Elapsed:   time.Since(t0),
+				Elapsed:   clock.Now().Sub(t0),
 			}, nil
 		}
 		explored++

@@ -278,6 +278,7 @@ func (ri *regionInfo) stateHash(st *State) (occ, want uint64) {
 		}
 	}
 	occ = h.Sum64()
+	//vet:ignore maprange per-edge hashes are XOR-combined, order-independent
 	for e := range st.Want.m {
 		if local {
 			pu, pv := st.L2P[e.U], st.L2P[e.V]

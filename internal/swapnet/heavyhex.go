@@ -133,6 +133,7 @@ func routeStragglers(st *State, sc *scope, regionQubits []int, emit EmitFunc) {
 		// Pick any remaining edge deterministically.
 		var tag graph.Edge
 		found := false
+		//vet:ignore maprange explicit min-scan, order-independent
 		for e := range sc.rel {
 			if !found || e.U < tag.U || (e.U == tag.U && e.V < tag.V) {
 				tag, found = e, true

@@ -55,6 +55,7 @@ func (s *EdgeSet) Empty() bool { return len(s.m) == 0 }
 // Edges returns the remaining edges in unspecified order.
 func (s *EdgeSet) Edges() []graph.Edge {
 	out := make([]graph.Edge, 0, len(s.m))
+	//vet:ignore maprange documented unspecified order; callers sort or fold order-independently (core.detectRegions)
 	for e := range s.m {
 		out = append(out, e)
 	}
@@ -64,6 +65,7 @@ func (s *EdgeSet) Edges() []graph.Edge {
 // Clone returns an independent copy.
 func (s *EdgeSet) Clone() *EdgeSet {
 	c := &EdgeSet{m: make(map[graph.Edge]struct{}, len(s.m))}
+	//vet:ignore maprange map-to-map copy, order-independent
 	for e := range s.m {
 		c.m[e] = struct{}{}
 	}
@@ -295,6 +297,7 @@ func (sc *scope) done() bool            { return len(sc.rel) == 0 }
 
 // merge absorbs another scope's relevant set.
 func (sc *scope) merge(o *scope) {
+	//vet:ignore maprange map-to-map copy, order-independent
 	for e := range o.rel {
 		sc.rel[e] = struct{}{}
 	}

@@ -86,6 +86,31 @@ func init() {
 	DepthConsistency.Run = runDepthConsistency
 	AngleSanity.Run = runAngleSanity
 	DeadSwap.Run = runDeadSwap
+
+	// Applicability predicates: analyzers whose Run silently no-ops when
+	// pass context is missing declare it here, so RunStatus can report a
+	// skip instead of letting CI mistake "didn't run" for "clean".
+	PermSoundness.Requires = func(p *Pass) string {
+		if p.Initial == nil {
+			return "no initial mapping"
+		}
+		return ""
+	}
+	Coverage.Requires = func(p *Pass) string {
+		if p.Problem == nil {
+			return "no problem graph"
+		}
+		if p.Initial == nil {
+			return "no initial mapping"
+		}
+		return ""
+	}
+	DepthConsistency.Requires = func(p *Pass) string {
+		if !p.CheckDepth {
+			return "no reported depth"
+		}
+		return ""
+	}
 }
 
 func runAngleSanity(p *Pass) []Diagnostic {

@@ -1,0 +1,59 @@
+package sema_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/core"
+	"github.com/ata-pattern/ataqc/internal/graph"
+	"github.com/ata-pattern/ataqc/internal/verify/sema"
+)
+
+// FuzzSemaRoundTrip: random problem graph → compile → symbolic extraction
+// must reproduce the problem's phase polynomial exactly (and the tracked
+// frame must agree with the compiler's claimed final mapping). This guards
+// both directions at once: a compiler bug that corrupts semantics, and a
+// sema bug that rejects a correct circuit (the compile path would fail
+// loudly, since the strict analyzers run inside Compile).
+func FuzzSemaRoundTrip(f *testing.F) {
+	f.Add(uint8(6), uint8(128), int64(1), uint8(0))
+	f.Add(uint8(9), uint8(60), int64(7), uint8(1))
+	f.Add(uint8(12), uint8(220), int64(42), uint8(2))
+	f.Fuzz(func(t *testing.T, nRaw, densRaw uint8, seed int64, modeRaw uint8) {
+		n := 4 + int(nRaw)%9 // 4..12 logical qubits
+		density := 0.15 + float64(densRaw)/255.0*0.75
+		prob := graph.GnpConnected(n, density, rand.New(rand.NewSource(seed)))
+		if prob.M() == 0 {
+			t.Skip("empty problem")
+		}
+		mode := []core.Mode{core.ModeHybrid, core.ModeGreedy, core.ModeATA}[int(modeRaw)%3]
+		a := arch.GridN(n)
+		const angle = 0.875 // exactly representable: term sums stay bit-exact
+		res, err := core.Compile(a, prob, core.Options{Mode: mode, Angle: angle, Workers: 1})
+		if err != nil {
+			t.Fatalf("compile n=%d density=%.2f mode=%v: %v", n, density, mode, err)
+		}
+		ext := sema.Extract(res.Circuit, res.Initial, n)
+		for _, is := range ext.Issues {
+			t.Fatalf("extraction issue on a compiler-produced circuit: gate %d: %s", is.Gate, is.Msg)
+		}
+		if mism := sema.Compare(ext.Poly, sema.FromGraph(prob, angle), sema.Tol); len(mism) != 0 {
+			t.Fatalf("polynomial mismatch: %v", mism)
+		}
+		for l, p := range res.Final {
+			if ext.Final[p] != l {
+				t.Fatalf("frame disagrees with claimed final mapping at logical %d", l)
+			}
+		}
+		// The decomposed stream must prove equivalent too — same program,
+		// CX-level grammar.
+		dext := sema.Extract(res.Circuit.Decompose(), res.Initial, n)
+		for _, is := range dext.Issues {
+			t.Fatalf("decomposed extraction issue: gate %d: %s", is.Gate, is.Msg)
+		}
+		if mism := sema.Compare(dext.Poly, sema.FromGraph(prob, angle), sema.Tol); len(mism) != 0 {
+			t.Fatalf("decomposed polynomial mismatch: %v", mism)
+		}
+	})
+}

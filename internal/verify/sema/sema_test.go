@@ -1,0 +1,189 @@
+package sema
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/ata-pattern/ataqc/internal/circuit"
+	"github.com/ata-pattern/ataqc/internal/graph"
+)
+
+func identity(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+func mustClean(t *testing.T, ext *Extraction) {
+	t.Helper()
+	for _, is := range ext.Issues {
+		t.Fatalf("unexpected issue: gate %d: %s", is.Gate, is.Msg)
+	}
+}
+
+// TestExtractTracksSwaps: a ZZ executed after routing must be attributed
+// to the logical pair the SWAPs brought together, not the physical pair.
+func TestExtractTracksSwaps(t *testing.T) {
+	// line of 4, logicals at identity; swap (1,2) then ZZ on physical
+	// (2,3) acts on logicals (1,3).
+	c := circuit.New(4)
+	c.Append(circuit.NewSwap(1, 2))
+	c.Append(circuit.Gate{Kind: circuit.GateZZ, Q0: 2, Q1: 3, Angle: 0.7})
+	ext := Extract(c, identity(4), 4)
+	mustClean(t, ext)
+	term, ok := ext.Poly.Terms["1,3"]
+	if !ok {
+		t.Fatalf("no (1,3) term; terms: %v", ext.Poly.Keys())
+	}
+	if term.Angle != 0.7 || term.Count != 1 {
+		t.Fatalf("term = %+v, want angle 0.7 count 1", term)
+	}
+	if len(ext.Poly.Terms) != 1 {
+		t.Fatalf("extra terms: %v", ext.Poly.Keys())
+	}
+	// Frame: physical 1 now holds logical 2 and vice versa.
+	if ext.Final[1] != 2 || ext.Final[2] != 1 {
+		t.Fatalf("final frame %v, want swap of 1 and 2", ext.Final)
+	}
+}
+
+// TestExtractDecomposedEqualsPattern: the CX·RZ·CX decomposition of a ZZ
+// (and the 3/4-CX forms of SWAP/ZZSwap) must extract the identical
+// polynomial — this is what lets sema verify post-decomposition streams.
+func TestExtractDecomposedEqualsPattern(t *testing.T) {
+	c := circuit.New(4)
+	c.Append(circuit.NewZZ(0, 1, 0.3, graph.NewEdge(0, 1)))
+	c.Append(circuit.Gate{Kind: circuit.GateZZSwap, Q0: 1, Q1: 2, Angle: 0.5, Tag: graph.NewEdge(1, 2), Tagged: true})
+	c.Append(circuit.NewSwap(2, 3))
+	c.Append(circuit.NewZZ(0, 1, 0.9, graph.NewEdge(0, 2)))
+
+	pat := Extract(c, identity(4), 4)
+	dec := Extract(c.Decompose(), identity(4), 4)
+	mustClean(t, pat)
+	mustClean(t, dec)
+	if len(pat.Poly.Terms) != len(dec.Poly.Terms) {
+		t.Fatalf("term counts differ: %v vs %v", pat.Poly.Keys(), dec.Poly.Keys())
+	}
+	for k, pt := range pat.Poly.Terms {
+		dt, ok := dec.Poly.Terms[k]
+		if !ok || math.Abs(dt.Angle-pt.Angle) > Tol {
+			t.Fatalf("term %q: pattern %+v, decomposed %+v", k, pt, dt)
+		}
+	}
+	for q := range pat.Final {
+		if pat.Final[q] != dec.Final[q] {
+			t.Fatalf("final frames differ at %d: %d vs %d", q, pat.Final[q], dec.Final[q])
+		}
+	}
+}
+
+// TestExtractQAOAShape: leading H layer and trailing RX mixer are accepted
+// and recorded; the polynomial is unaffected.
+func TestExtractQAOAShape(t *testing.T) {
+	c := circuit.New(3)
+	for q := 0; q < 3; q++ {
+		c.Append(circuit.Gate{Kind: circuit.GateH, Q0: q, Q1: -1})
+	}
+	c.Append(circuit.NewZZ(0, 1, 0.4, graph.NewEdge(0, 1)))
+	c.Append(circuit.NewSwap(1, 2))
+	for q := 0; q < 3; q++ {
+		c.Append(circuit.Gate{Kind: circuit.GateRX, Q0: q, Q1: -1, Angle: 0.25})
+	}
+	ext := Extract(c, identity(3), 3)
+	mustClean(t, ext)
+	if len(ext.Poly.Terms) != 1 {
+		t.Fatalf("terms: %v", ext.Poly.Keys())
+	}
+	for l := 0; l < 3; l++ {
+		if math.Abs(ext.Mixer[l]-0.25) > Tol {
+			t.Fatalf("mixer[%d] = %v", l, ext.Mixer[l])
+		}
+	}
+}
+
+// TestExtractRejectsMidCircuitH: an H between diagonal gates breaks the
+// diagonal frame and must be reported, not silently mis-modelled.
+func TestExtractRejectsMidCircuitH(t *testing.T) {
+	c := circuit.New(2)
+	c.Append(circuit.NewZZ(0, 1, 0.4, graph.NewEdge(0, 1)))
+	c.Append(circuit.Gate{Kind: circuit.GateH, Q0: 0, Q1: -1})
+	ext := Extract(c, identity(2), 2)
+	if len(ext.Issues) == 0 {
+		t.Fatal("mid-circuit H not reported")
+	}
+}
+
+// TestExtractRejectsDiagonalAfterMixer: the mixer retires a qubit; any
+// later diagonal gate there is outside the provable grammar.
+func TestExtractRejectsDiagonalAfterMixer(t *testing.T) {
+	c := circuit.New(2)
+	c.Append(circuit.Gate{Kind: circuit.GateRX, Q0: 0, Q1: -1, Angle: 0.3})
+	c.Append(circuit.NewZZ(0, 1, 0.4, graph.NewEdge(0, 1)))
+	ext := Extract(c, identity(2), 2)
+	if len(ext.Issues) == 0 {
+		t.Fatal("post-mixer diagonal gate not reported")
+	}
+}
+
+// TestExtractFlagsDroppedCX: removing one CX from a decomposed stream
+// leaves a parity ladder open at circuit end.
+func TestExtractFlagsDroppedCX(t *testing.T) {
+	c := circuit.New(2)
+	c.Append(circuit.NewZZ(0, 1, 0.4, graph.NewEdge(0, 1)))
+	d := c.Decompose()
+	d.Gates = d.Gates[:len(d.Gates)-1] // drop the closing CX
+	ext := Extract(d, identity(2), 2)
+	if len(ext.Issues) == 0 {
+		t.Fatal("uncompensated CNOT ladder not reported")
+	}
+}
+
+// TestExtractAuxQubits: gates that leak phase onto unmapped device qubits
+// produce aux terms that Compare rejects.
+func TestExtractAuxQubits(t *testing.T) {
+	// 2 logicals on a 4-qubit device; a stray ZZ touches unmapped qubit 3.
+	c := circuit.New(4)
+	c.Append(circuit.NewZZ(0, 1, 0.4, graph.NewEdge(0, 1)))
+	c.Append(circuit.Gate{Kind: circuit.GateZZ, Q0: 2, Q1: 3, Angle: 0.8})
+	ext := Extract(c, []int{0, 1}, 2)
+	mustClean(t, ext)
+	prob := graph.New(2)
+	prob.AddEdge(0, 1)
+	mism := Compare(ext.Poly, FromGraph(prob, 0.4), Tol)
+	if len(mism) != 1 {
+		t.Fatalf("mismatches: %v", mism)
+	}
+	if got := mism[0].Msg; !strings.Contains(got, "unmapped") {
+		t.Fatalf("msg %q does not mention unmapped-qubit state", got)
+	}
+}
+
+// TestCompareModes: pinned-angle and uniform-consensus comparison.
+func TestCompareModes(t *testing.T) {
+	prob := graph.New(3)
+	prob.AddEdge(0, 1)
+	prob.AddEdge(1, 2)
+	build := func(a01, a12 float64) *Polynomial {
+		c := circuit.New(3)
+		c.Append(circuit.NewZZ(0, 1, a01, graph.NewEdge(0, 1)))
+		c.Append(circuit.NewZZ(1, 2, a12, graph.NewEdge(1, 2)))
+		return Extract(c, identity(3), 3).Poly
+	}
+	if m := Compare(build(1, 1), FromGraph(prob, 1), Tol); len(m) != 0 {
+		t.Fatalf("pinned clean: %v", m)
+	}
+	if m := Compare(build(1, 1), FromGraph(prob, 2), Tol); len(m) != 2 {
+		t.Fatalf("pinned wrong angle: %v", m)
+	}
+	if m := Compare(build(0.5, 0.5), FromGraph(prob, 0), Tol); len(m) != 0 {
+		t.Fatalf("uniform clean: %v", m)
+	}
+	// One outlier under uniform mode: consensus elects 0.5, flags (1,2).
+	m := Compare(build(0.5, 0.7), FromGraph(prob, 0), Tol)
+	if len(m) != 1 || m[0].Term != "(1,2)" {
+		t.Fatalf("uniform outlier: %v", m)
+	}
+}

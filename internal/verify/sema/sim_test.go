@@ -1,0 +1,130 @@
+package sema_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/baseline"
+	"github.com/ata-pattern/ataqc/internal/circuit"
+	"github.com/ata-pattern/ataqc/internal/core"
+	"github.com/ata-pattern/ataqc/internal/graph"
+	"github.com/ata-pattern/ataqc/internal/sim"
+	"github.com/ata-pattern/ataqc/internal/verify/sema"
+)
+
+// TestSemaAgreesWithStatevector cross-validates the two oracles on every
+// small instance: the symbolic phase polynomial (scales to any size) and
+// the state-vector simulator (exact, ~20-qubit ceiling) must accept and
+// agree on the same circuits. Concretely, for each compiler's output we
+// check (a) sema proves polynomial equivalence, and (b) simulating the
+// compiled circuit from |+...+> equals directly exponentiating the
+// problem polynomial at the initial placement, after aligning the final
+// qubit permutation — fidelity 1 up to float noise. If either oracle had
+// a sign/convention bug, this is the test that catches it.
+func TestSemaAgreesWithStatevector(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	type inst struct {
+		name string
+		prob *graph.Graph
+	}
+	instances := []inst{
+		{"ring6", graph.Cycle(6)},
+		{"k5", graph.Complete(5)},
+		{"path7", graph.Path(7)},
+		{"gnp8", graph.GnpConnected(8, 0.4, rng)},
+		{"gnp10", graph.GnpConnected(10, 0.3, rng)},
+		{"gnp12", graph.GnpConnected(12, 0.25, rng)},
+	}
+	const angle = 0.6
+	for _, in := range instances {
+		n := in.prob.N()
+		a := arch.GridN(n)
+		type compiled struct {
+			name    string
+			circ    *circuit.Circuit
+			initial []int
+			final   []int
+		}
+		var outs []compiled
+		for _, mode := range []core.Mode{core.ModeHybrid, core.ModeGreedy, core.ModeATA} {
+			res, err := core.Compile(a, in.prob, core.Options{Mode: mode, Angle: angle, Workers: 1})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", in.name, mode, err)
+			}
+			outs = append(outs, compiled{mode.String(), res.Circuit, res.Initial, res.Final})
+		}
+		for _, bl := range []struct {
+			name string
+			run  func(*arch.Arch, *graph.Graph, float64) (*baseline.Result, error)
+		}{{"2qan", baseline.TwoQAN}, {"qaim", baseline.QAIM}, {"paulihedral", baseline.Paulihedral}} {
+			res, err := bl.run(a, in.prob, angle)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", in.name, bl.name, err)
+			}
+			outs = append(outs, compiled{bl.name, res.Circuit, res.Initial, res.Final})
+		}
+		for _, c := range outs {
+			t.Run(in.name+"/"+c.name, func(t *testing.T) {
+				// Oracle 1: symbolic.
+				ext := sema.Extract(c.circ, c.initial, n)
+				if len(ext.Issues) != 0 {
+					t.Fatalf("sema issues: %v", ext.Issues)
+				}
+				if mism := sema.Compare(ext.Poly, sema.FromGraph(in.prob, angle), sema.Tol); len(mism) != 0 {
+					t.Fatalf("sema mismatches: %v", mism)
+				}
+				// Oracle 2: numeric, on the compacted circuit.
+				comp, remap := c.circ.Compact()
+				if comp.NQubits > 16 {
+					t.Skipf("compact circuit spans %d qubits", comp.NQubits)
+				}
+				got := sim.NewZero(comp.NQubits)
+				for q := 0; q < comp.NQubits; q++ {
+					got.H(q)
+				}
+				got.Run(comp)
+
+				want := sim.NewZero(comp.NQubits)
+				for q := 0; q < comp.NQubits; q++ {
+					want.H(q)
+				}
+				for _, e := range in.prob.Edges() {
+					want.ZZ(remap[c.initial[e.U]], remap[c.initial[e.V]], angle)
+				}
+				// Align the final permutation: logical l sits at
+				// remap[final[l]] in got but remap[initial[l]] in want.
+				perm := make([]int, comp.NQubits) // current -> target
+				for i := range perm {
+					perm[i] = i
+				}
+				final := c.final
+				if final == nil {
+					final = circuit.FinalMapping(c.circ, c.initial)
+				}
+				pos := make([]int, comp.NQubits) // where each original want-qubit currently is
+				for i := range pos {
+					pos[i] = i
+				}
+				at := make([]int, comp.NQubits) // inverse of pos
+				copy(at, pos)
+				for l := 0; l < n; l++ {
+					src, dst := remap[c.initial[l]], remap[final[l]]
+					cur := pos[src]
+					if cur == dst {
+						continue
+					}
+					occupant := at[dst]
+					want.Swap(cur, dst)
+					pos[src], pos[occupant] = dst, cur
+					at[dst], at[cur] = src, occupant
+				}
+				if fid := got.InnerAbs2(want); math.Abs(fid-1) > 1e-9 {
+					t.Fatalf("statevector fidelity %v, want 1", fid)
+				}
+				_ = perm
+			})
+		}
+	}
+}

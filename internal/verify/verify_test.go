@@ -83,7 +83,7 @@ func TestAnalyzersTable(t *testing.T) {
 				Problem: edges(4, [2]int{0, 1}, [2]int{1, 2}),
 				Initial: identity(4),
 			},
-			want: map[string]int{"coverage": 1},
+			want: map[string]int{"coverage": 1, "sema": 1},
 			sub:  "never realized",
 		},
 		{
@@ -96,7 +96,7 @@ func TestAnalyzersTable(t *testing.T) {
 				Problem: edges(4, [2]int{0, 1}),
 				Initial: identity(4),
 			},
-			want: map[string]int{"coverage": 1},
+			want: map[string]int{"coverage": 1, "sema": 1},
 			sub:  "more than once",
 		},
 		{
@@ -120,7 +120,7 @@ func TestAnalyzersTable(t *testing.T) {
 				Problem: edges(4, [2]int{0, 1}),
 				Initial: identity(4),
 			},
-			want: map[string]int{"coverage": 1},
+			want: map[string]int{"coverage": 1, "sema": 1},
 			sub:  "not an interaction term",
 		},
 		{
@@ -134,7 +134,7 @@ func TestAnalyzersTable(t *testing.T) {
 				Initial: identity(4),
 				Final:   identity(4), // wrong: the SWAP moved logicals 1 and 2
 			},
-			want: map[string]int{"perm-soundness": 2, "dead-swap": 1},
+			want: map[string]int{"perm-soundness": 2, "dead-swap": 1, "sema": 2},
 			sub:  "compiler claims",
 		},
 		{
@@ -252,6 +252,68 @@ func TestRunOrdersByGate(t *testing.T) {
 			t.Fatalf("circuit-level diagnostic not last: %v", diags)
 		}
 	}
+}
+
+// TestSemaCatchesCompiledMutations: adversarial check on a real compiled
+// circuit. The untouched output proves clean; dropping, duplicating, or
+// mis-angling a single diagonal gate in the compiled stream must each trip
+// the sema analyzer. This is the end-to-end teeth behind Theorem 6.1's
+// equivalence claim — a wrong circuit cannot pass silently.
+func TestSemaCatchesCompiledMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := arch.GridN(9)
+	p := graph.GnpConnected(9, 0.35, rng)
+	res, err := core.Compile(a, p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := func(g []circuit.Gate) *verify.Pass {
+		c := &circuit.Circuit{NQubits: res.Circuit.NQubits, Gates: g}
+		return &verify.Pass{Circuit: c, Arch: a, Problem: p,
+			Initial: res.Initial, Final: res.Final}
+	}
+	semaCount := func(g []circuit.Gate) int {
+		n := 0
+		for _, d := range verify.Run(pass(g), verify.Sema) {
+			if d.Analyzer == "sema" {
+				n++
+			}
+		}
+		return n
+	}
+	orig := res.Circuit.Gates
+	if n := semaCount(orig); n != 0 {
+		t.Fatalf("unmutated compiled circuit not clean: %d sema findings", n)
+	}
+	// Pick a tagged diagonal gate to corrupt.
+	target := -1
+	for i, g := range orig {
+		if g.Tagged && g.Kind == circuit.GateZZ {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatal("compiled circuit has no plain tagged ZZ to mutate")
+	}
+	mutate := func(name string, f func([]circuit.Gate) []circuit.Gate) {
+		g := append([]circuit.Gate(nil), orig...)
+		if n := semaCount(f(g)); n == 0 {
+			t.Errorf("%s: sema did not flag the mutated circuit", name)
+		}
+	}
+	mutate("dropped gate", func(g []circuit.Gate) []circuit.Gate {
+		return append(g[:target], g[target+1:]...)
+	})
+	mutate("duplicated gate", func(g []circuit.Gate) []circuit.Gate {
+		out := make([]circuit.Gate, 0, len(g)+1)
+		out = append(out, g[:target+1]...)
+		return append(out, g[target:]...)
+	})
+	mutate("mis-angled gate", func(g []circuit.Gate) []circuit.Gate {
+		g[target].Angle *= 1.5
+		return g
+	})
 }
 
 // TestVerifiedCompilerOutputsAlwaysClean: the paper's hybrid compiler, on

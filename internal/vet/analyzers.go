@@ -1,0 +1,528 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapRange forbids ranging over maps in packages whose output order is
+// part of the deterministic-compilation contract. Go randomizes map
+// iteration order per run, so a map-range feeding gate emission, region
+// detection, or a committed report scrambles byte-identical output.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc: `Compiled circuits, benchmark tables, and experiment reports must be
+byte-identical across runs (the determinism tests pin this). Ranging over a
+map inside the packages that produce them introduces per-run iteration
+order. Sort the keys first, or annotate the audited site with
+//vet:ignore maprange <why the order cannot leak>.`,
+	AppliesTo: deterministicOutputDirs,
+}
+
+func runMapRange(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				out = append(out, diag(p, MapRange, rs.Pos(),
+					"range over map %s iterates in per-run random order; sort the keys or annotate the audit",
+					types.TypeString(tv.Type, types.RelativeTo(p.Pkg))))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// WallTime forbids direct wall-clock reads and the global math/rand source
+// in compile-path packages: both must be injected (obs.Clock, *rand.Rand)
+// so compilation is reproducible and testable under synthetic time.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc: `Compile paths time themselves against the injected obs.Clock (so
+budgets and Elapsed work under a synthetic clock) and draw randomness only
+from explicitly seeded *rand.Rand values. time.Now/Since/Until and the
+global math/rand functions bypass both injections.`,
+	AppliesTo: isCompilePath,
+}
+
+// Run hooks are wired in init to break the declaration cycle between the
+// analyzer values and their Run functions (which reference the values when
+// reporting).
+func init() {
+	MapRange.Run = runMapRange
+	WallTime.Run = runWallTime
+	ObsSpan.Run = runObsSpan
+	NakedPanic.Run = runNakedPanic
+}
+
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Int31": true, "Int31n": true, "Int63": true, "Int63n": true,
+	"Intn": true, "Uint32": true, "Uint64": true, "Float32": true,
+	"Float64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"NormFloat64": true, "ExpFloat64": true, "Read": true,
+}
+
+func runWallTime(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "time":
+				if wallClockFuncs[sel.Sel.Name] {
+					out = append(out, diag(p, WallTime, sel.Pos(),
+						"time.%s reads the wall clock in a compile path; use the injected obs.Clock", sel.Sel.Name))
+				}
+			case "math/rand", "math/rand/v2":
+				if globalRandFuncs[sel.Sel.Name] {
+					out = append(out, diag(p, WallTime, sel.Pos(),
+						"rand.%s draws from the global source in a compile path; thread a seeded *rand.Rand", sel.Sel.Name))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// ObsSpan checks that every locally-owned observability span is ended on
+// all paths out of its function: a span that leaks stays open in the
+// exported trace and corrupts the phase timeline.
+var ObsSpan = &Analyzer{
+	Name: "obsspan",
+	Doc: `A span opened with obs.Trace.StartSpan (or a core phase handle from
+recorder.phase) must reach its End()/end() on every return path, or be
+closed by a defer. An early return that skips it leaves the span open in
+the trace and drops the phase from the timeline. Spans that escape the
+function (passed as arguments, stored in fields or other variables) are
+someone else's responsibility and are skipped.`,
+}
+
+// spanVar is one locally-owned span variable under flow analysis.
+type spanVar struct {
+	obj     types.Object
+	def     *ast.Ident
+	endName string
+}
+
+func runObsSpan(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, frame := range framesOf(f) {
+			out = append(out, checkFrame(p, frame)...)
+		}
+	}
+	return out
+}
+
+// framesOf returns every function body in the file: declarations and
+// literals, each analyzed as its own frame.
+func framesOf(f *ast.File) []*ast.BlockStmt {
+	var frames []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				frames = append(frames, fn.Body)
+			}
+		case *ast.FuncLit:
+			frames = append(frames, fn.Body)
+		}
+		return true
+	})
+	return frames
+}
+
+// checkFrame runs the ended-on-all-paths analysis for each span variable
+// defined directly in the frame (not in nested function literals).
+func checkFrame(p *Pass, body *ast.BlockStmt) []Diagnostic {
+	var out []Diagnostic
+	for _, sv := range spanVarsIn(p, body) {
+		if escapes(p, body, sv) {
+			continue
+		}
+		sc := &spanScan{p: p, sv: sv}
+		st := sc.stmts(body.List, scanState{})
+		if st.assigned && !st.ended && !st.terminated {
+			out = append(out, diag(p, ObsSpan, sv.def.Pos(),
+				"span %s is not ended before the function falls off the end", sv.def.Name))
+		}
+		out = append(out, sc.diags...)
+	}
+	return out
+}
+
+// spanVarsIn finds `x := ...` definitions of span-typed variables directly
+// in the frame.
+func spanVarsIn(p *Pass, body *ast.BlockStmt) []*spanVar {
+	var vars []*spanVar
+	inspectFrame(body, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := p.Info.Defs[id]
+			if obj == nil {
+				continue
+			}
+			if end := spanEndName(obj.Type()); end != "" {
+				vars = append(vars, &spanVar{obj: obj, def: id, endName: end})
+			}
+		}
+	})
+	return vars
+}
+
+// spanEndName reports the close-method name for span types ("" for
+// everything else): obs.Span uses End, the core phase handle uses end.
+func spanEndName(t types.Type) string {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return ""
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	name, pkg := named.Obj().Name(), named.Obj().Pkg().Path()
+	if name == "Span" && strings.HasSuffix(pkg, "/internal/obs") {
+		return "End"
+	}
+	if name == "phaseHandle" {
+		return "end"
+	}
+	return ""
+}
+
+// inspectFrame walks the frame's own statements, not descending into
+// nested function literals (they are separate frames).
+func inspectFrame(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// escapes reports whether the span is used as anything other than a method
+// receiver in its frame — passed away, stored, or captured by a non-defer
+// closure — which transfers the End obligation elsewhere.
+func escapes(p *Pass, body *ast.BlockStmt, sv *spanVar) bool {
+	parent := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parent[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	escaped := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || p.Info.Uses[id] != sv.obj {
+			return true
+		}
+		sel, ok := parent[id].(*ast.SelectorExpr)
+		if !ok || sel.X != id {
+			escaped = true
+			return false
+		}
+		if call, ok := parent[sel].(*ast.CallExpr); !ok || call.Fun != sel {
+			escaped = true // method value or field read, not a call
+			return false
+		}
+		return true
+	})
+	return escaped
+}
+
+// scanState is the abstract state of one span variable along a path.
+type scanState struct {
+	assigned   bool // the defining := has executed
+	ended      bool // End()/end() (or a defer of it) has executed
+	terminated bool // the path has left the function (return/branch)
+}
+
+// spanScan is a conservative path-sensitive walk: sequential statements
+// thread the state, branches fork it and merge pessimistically (ended only
+// if ended on every non-terminated branch), loops are approximated by
+// their zero-iteration path.
+type spanScan struct {
+	p     *Pass
+	sv    *spanVar
+	diags []Diagnostic
+}
+
+func (s *spanScan) stmts(list []ast.Stmt, st scanState) scanState {
+	for _, stmt := range list {
+		if st.terminated {
+			break
+		}
+		st = s.stmt(stmt, st)
+	}
+	return st
+}
+
+func (s *spanScan) stmt(stmt ast.Stmt, st scanState) scanState {
+	switch n := stmt.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id == s.sv.def {
+				st.assigned, st.ended = true, false
+			}
+		}
+	case *ast.ExprStmt:
+		if s.isEndCall(n.X) {
+			st.ended = true
+		}
+	case *ast.DeferStmt:
+		if s.isEndCall(n.Call) || s.deferLitEnds(n.Call) {
+			st.ended = true
+		}
+	case *ast.ReturnStmt:
+		if st.assigned && !st.ended {
+			s.diags = append(s.diags, diag(s.p, ObsSpan, n.Pos(),
+				"return leaks span %s (opened at %s): End is not called on this path",
+				s.sv.def.Name, s.p.Fset.Position(s.sv.def.Pos())))
+		}
+		st.terminated = true
+	case *ast.BranchStmt:
+		st.terminated = true
+	case *ast.BlockStmt:
+		st = s.stmts(n.List, st)
+	case *ast.LabeledStmt:
+		st = s.stmt(n.Stmt, st)
+	case *ast.IfStmt:
+		if n.Init != nil {
+			st = s.stmt(n.Init, st)
+		}
+		branches := []scanState{s.stmts(n.Body.List, st)}
+		if n.Else != nil {
+			branches = append(branches, s.stmt(n.Else, st))
+		} else {
+			branches = append(branches, st)
+		}
+		st = merge(branches)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		st = s.caseBranches(stmt, st)
+	case *ast.ForStmt:
+		if n.Init != nil {
+			st = s.stmt(n.Init, st)
+		}
+		s.stmts(n.Body.List, st) // check returns inside; zero-iteration approx
+	case *ast.RangeStmt:
+		s.stmts(n.Body.List, st)
+	}
+	return st
+}
+
+// caseBranches merges the clause bodies of a switch/type-switch/select; a
+// missing default contributes the fall-through state.
+func (s *spanScan) caseBranches(stmt ast.Stmt, st scanState) scanState {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch n := stmt.(type) {
+	case *ast.SwitchStmt:
+		if n.Init != nil {
+			st = s.stmt(n.Init, st)
+		}
+		body = n.Body
+	case *ast.TypeSwitchStmt:
+		if n.Init != nil {
+			st = s.stmt(n.Init, st)
+		}
+		body = n.Body
+	case *ast.SelectStmt:
+		body = n.Body
+	}
+	var branches []scanState
+	for _, c := range body.List {
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			branches = append(branches, s.stmts(cc.Body, st))
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			branches = append(branches, s.stmts(cc.Body, st))
+		}
+	}
+	if !hasDefault {
+		branches = append(branches, st)
+	}
+	return merge(branches)
+}
+
+// merge combines branch states: terminated only if every branch
+// terminated; ended only if every branch that can fall through ended.
+func merge(branches []scanState) scanState {
+	out := scanState{ended: true, terminated: true}
+	for _, b := range branches {
+		out.assigned = out.assigned || b.assigned
+		out.terminated = out.terminated && b.terminated
+		if !b.terminated {
+			out.ended = out.ended && b.ended
+		}
+	}
+	if out.terminated {
+		out.ended = true
+	}
+	return out
+}
+
+// isEndCall reports whether expr is sv.End() / sv.end().
+func (s *spanScan) isEndCall(expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != s.sv.endName {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && s.p.Info.Uses[id] == s.sv.obj
+}
+
+// deferLitEnds reports whether a deferred function literal contains the
+// span's End call (the `defer func() { ...; sp.End() }()` idiom).
+func (s *spanScan) deferLitEnds(call *ast.CallExpr) bool {
+	lit, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if expr, ok := n.(ast.Expr); ok && s.isEndCall(expr) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// NakedPanic enforces the DESIGN.md panic-audit rule at the call-site
+// level: panics are reserved for provable internal invariants, and the
+// panic value must say which package's invariant broke. Re-panicking a
+// bare error value loses that attribution.
+var NakedPanic = &Analyzer{
+	Name: "nakedpanic",
+	Doc: `Every panic argument must be a self-describing, package-prefixed
+invariant message — a string literal or fmt.Sprintf/fmt.Errorf whose format
+contains a "pkg:" prefix. panic(err) and panic(v) are naked: when they
+surface through the core recover boundary the report says nothing about
+which invariant broke. Audited exceptions annotate
+//vet:ignore nakedpanic <why>.`,
+}
+
+func runNakedPanic(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if b, ok := p.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+				return true
+			}
+			if len(call.Args) == 1 && describesInvariant(p, call.Args[0]) {
+				return true
+			}
+			out = append(out, diag(p, NakedPanic, call.Pos(),
+				"naked panic: argument must be a package-prefixed invariant message (string literal or fmt.Sprintf/Errorf with a %q format prefix)", "pkg: ..."))
+			return true
+		})
+	}
+	return out
+}
+
+// describesInvariant accepts string literals and fmt.Sprintf/Errorf calls
+// whose (constant) format carries a "pkg:"-style prefix.
+func describesInvariant(p *Pass, arg ast.Expr) bool {
+	if lit := stringLit(p, arg); lit != "" {
+		return strings.Contains(lit, ":")
+	}
+	call, ok := arg.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "fmt" {
+		return false
+	}
+	if sel.Sel.Name != "Sprintf" && sel.Sel.Name != "Errorf" {
+		return false
+	}
+	return strings.Contains(stringLit(p, call.Args[0]), ":")
+}
+
+// stringLit returns the constant string value of expr ("" when not a
+// constant string).
+func stringLit(p *Pass, expr ast.Expr) string {
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return ""
+	}
+	return constant.StringVal(tv.Value)
+}
+
+func diag(p *Pass, a *Analyzer, pos token.Pos, format string, args ...any) Diagnostic {
+	return Diagnostic{Analyzer: a.Name, Pos: p.Fset.Position(pos), Message: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,212 @@
+// Package loading for the vet driver: a minimal, offline, stdlib-only
+// substitute for golang.org/x/tools/go/packages. Module-internal imports
+// are resolved to directories under the module root and type-checked
+// recursively (memoized); standard-library imports go through the
+// compiler's source importer, which works without network or a populated
+// module cache. External module dependencies are unsupported — this repo
+// has none, by design.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader type-checks packages of one module.
+type Loader struct {
+	fset   *token.FileSet
+	root   string // module root directory (absolute)
+	module string // module path from go.mod
+	std    types.Importer
+	memo   map[string]*loaded // by module-relative dir
+}
+
+type loaded struct {
+	pass *Pass
+	err  error
+}
+
+// NewLoader returns a loader for the module rooted at root (the directory
+// containing go.mod).
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:   fset,
+		root:   abs,
+		module: mod,
+		std:    importer.ForCompiler(fset, "source", nil),
+		memo:   map[string]*loaded{},
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("vet: no module line in %s", gomod)
+}
+
+// Match expands package patterns ("./...", "./internal/core", "internal/
+// core") into module-relative package directories, in sorted order. Like
+// the go tool, "..." skips testdata, vendor, and directories starting with
+// "." or "_"; directories without non-test Go files are dropped.
+func (l *Loader) Match(patterns ...string) ([]string, error) {
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "..." || pat == "" {
+			pat = "..."
+		}
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok || pat == "..." {
+			base := "."
+			if ok {
+				base = rest
+			}
+			err := filepath.WalkDir(filepath.Join(l.root, base), func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != l.root && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				rel, _ := filepath.Rel(l.root, path)
+				if hasGoFiles(path) {
+					dirs[filepath.ToSlash(rel)] = true
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		rel := filepath.ToSlash(filepath.Clean(pat))
+		if !hasGoFiles(filepath.Join(l.root, rel)) {
+			return nil, fmt.Errorf("vet: no Go files in %s", rel)
+		}
+		dirs[rel] = true
+	}
+	out := make([]string, 0, len(dirs))
+	for d := range dirs {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir parses and type-checks the package in the module-relative dir.
+// Test files (_test.go) are excluded: the analyzers enforce production
+// contracts, and test packages may deliberately violate them.
+func (l *Loader) LoadDir(dir string) (*Pass, error) {
+	dir = filepath.ToSlash(filepath.Clean(dir))
+	if got := l.memo[dir]; got != nil {
+		return got.pass, got.err
+	}
+	// Mark in-progress to fail fast on import cycles instead of recursing.
+	l.memo[dir] = &loaded{err: fmt.Errorf("vet: import cycle through %s", dir)}
+	pass, err := l.check(dir)
+	l.memo[dir] = &loaded{pass: pass, err: err}
+	return pass, err
+}
+
+func (l *Loader) check(dir string) (*Pass, error) {
+	abs := filepath.Join(l.root, dir)
+	ents, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(abs, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("vet: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	path := l.module
+	if dir != "." {
+		path = l.module + "/" + dir
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("vet: type-checking %s: %w", dir, err)
+	}
+	return &Pass{Fset: l.fset, Files: files, Pkg: pkg, Info: info, Dir: dir}, nil
+}
+
+// Import implements types.Importer: module-internal paths resolve to repo
+// directories, everything else falls through to the stdlib source
+// importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.module {
+		p, err := l.LoadDir(".")
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.module+"/"); ok {
+		p, err := l.LoadDir(rest)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return l.std.Import(path)
+}

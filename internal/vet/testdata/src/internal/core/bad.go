@@ -1,0 +1,114 @@
+// Package core is a synthetic compile-path package that violates every
+// contract the vet analyzers enforce, once per violation class, so the
+// tests can pin that each analyzer fires (and that annotations suppress).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"badmod/internal/obs"
+)
+
+// MapLeak feeds map iteration order into an ordered output.
+func MapLeak(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // maprange: order leaks into out
+		out = append(out, v)
+	}
+	return out
+}
+
+// MapAudited is the same shape with an audit annotation.
+func MapAudited(m map[int]int) int {
+	sum := 0
+	//vet:ignore maprange summation is commutative
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// ClockLeak reads the wall clock and the global rand source.
+func ClockLeak() (time.Time, int) {
+	t := time.Now()    // walltime: wall clock
+	n := rand.Intn(42) // walltime: global source
+	return t, n
+}
+
+// SeededOK threads an explicit source, which is allowed.
+func SeededOK(rng *rand.Rand) int { return rng.Intn(42) }
+
+// SpanLeak opens a span and returns early without ending it.
+func SpanLeak(tr *obs.Trace, fail bool) error {
+	sp := tr.StartSpan(nil, "work")
+	if fail {
+		return errors.New("core: failed") // obsspan: leaky return
+	}
+	sp.End()
+	return nil
+}
+
+// SpanDeferOK closes via defer on every path.
+func SpanDeferOK(tr *obs.Trace, fail bool) error {
+	sp := tr.StartSpan(nil, "work")
+	defer sp.End()
+	if fail {
+		return errors.New("core: failed")
+	}
+	return nil
+}
+
+// SpanDeferLitOK closes via a deferred closure.
+func SpanDeferLitOK(tr *obs.Trace) {
+	sp := tr.StartSpan(nil, "work")
+	defer func() { sp.End() }()
+}
+
+// SpanBranchesOK ends the span on both arms before returning.
+func SpanBranchesOK(tr *obs.Trace, fail bool) error {
+	sp := tr.StartSpan(nil, "work")
+	if fail {
+		sp.End()
+		return errors.New("core: failed")
+	}
+	sp.End()
+	return nil
+}
+
+// SpanEscapes hands the span to another function, which takes over the
+// obligation; the analyzer must not flag it here.
+func SpanEscapes(tr *obs.Trace) {
+	sp := tr.StartSpan(nil, "work")
+	closeLater(sp)
+}
+
+func closeLater(sp *obs.Span) { sp.End() }
+
+// SpanFallsOff opens a span and falls off the end of the function.
+func SpanFallsOff(tr *obs.Trace) {
+	sp := tr.StartSpan(nil, "leaky") // obsspan: falls off end
+	sp.Note("never ended")
+}
+
+// PanicNaked re-panics a bare error value.
+func PanicNaked(err error) {
+	if err != nil {
+		panic(err) // nakedpanic: bare error value
+	}
+}
+
+// PanicDescribed carries a package-prefixed invariant message.
+func PanicDescribed(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("core: negative count %d", n))
+	}
+}
+
+// PanicAudited is suppressed by annotation.
+func PanicAudited(v any) {
+	//vet:ignore nakedpanic test fixture for annotation parsing
+	panic(v)
+}

@@ -1,0 +1,22 @@
+// Package obs mirrors the real observability package's span shape so the
+// obsspan analyzer's type matching can be exercised in isolation.
+package obs
+
+// Span is a stand-in for the real obs.Span.
+type Span struct{ ended bool }
+
+// End closes the span.
+func (s *Span) End() {
+	if s != nil {
+		s.ended = true
+	}
+}
+
+// Note attaches an annotation (a non-closing method, for analyzer tests).
+func (s *Span) Note(string) {}
+
+// Trace is a stand-in for the real obs.Trace.
+type Trace struct{}
+
+// StartSpan opens a span.
+func (t *Trace) StartSpan(parent *Span, name string) *Span { return &Span{} }
