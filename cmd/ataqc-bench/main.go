@@ -1,0 +1,167 @@
+// Command ataqc-bench load-tests a running ataqcd daemon: it sweeps a list
+// of target request rates, drives each level with a fleet of concurrent
+// clients (internal/loadgen), optionally weaves hostile-client chaos
+// scenarios (internal/faultinject network faults) into the stream, and
+// writes a BENCH_service.json report with per-level p50/p90/p99 latency and
+// shed/degrade counts.
+//
+// Exit status is the CI gate: non-zero when the daemon died during the run
+// (healthz check), when any chaos scenario elicited an unstructured error,
+// or when -max-p99-ms is set and any level's p99 exceeds it.
+//
+// Example:
+//
+//	ataqcd -addr 127.0.0.1:8080 -chaos &
+//	ataqc-bench -url http://127.0.0.1:8080 -rps 20,60,120 -clients 8 \
+//	    -duration 10s -chaos-fraction 0.15 -out BENCH_service.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/ata-pattern/ataqc/internal/loadgen"
+)
+
+// benchReport is the BENCH_service.json schema (see EXPERIMENTS.md).
+type benchReport struct {
+	URL      string            `json:"url"`
+	Seed     int64             `json:"seed"`
+	Levels   []*loadgen.Report `json:"levels"`
+	DaemonOK bool              `json:"daemonOk"`
+}
+
+func main() {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8080", "daemon base URL")
+		rpsList  = flag.String("rps", "20,60,120", "comma-separated target request rates, one load level each (0 = closed loop)")
+		clients  = flag.Int("clients", 8, "concurrent clients per level")
+		duration = flag.Duration("duration", 10*time.Second, "duration per level")
+		chaos    = flag.Float64("chaos-fraction", 0, "fraction of slots given to hostile-client scenarios")
+		seed     = flag.Int64("seed", 1, "workload and jitter seed")
+		out      = flag.String("out", "", "write the JSON report here ('' = stdout)")
+		maxP99   = flag.Float64("max-p99-ms", 0, "fail when any level's p99 exceeds this many ms (0 = no gate)")
+	)
+	flag.Parse()
+	if err := run(*url, *rpsList, *clients, *duration, *chaos, *seed, *out, *maxP99); err != nil {
+		fmt.Fprintf(os.Stderr, "ataqc-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(url, rpsList string, clients int, duration time.Duration, chaos float64, seed int64, out string, maxP99 float64) error {
+	rates, err := parseRates(rpsList)
+	if err != nil {
+		return err
+	}
+	if err := ping(url); err != nil {
+		return fmt.Errorf("daemon not reachable before the run: %w", err)
+	}
+
+	rep := &benchReport{URL: url, Seed: seed}
+	for i, rps := range rates {
+		fmt.Fprintf(os.Stderr, "ataqc-bench: level %d/%d rps=%g clients=%d duration=%s chaos=%g\n",
+			i+1, len(rates), rps, clients, duration, chaos)
+		lvl, err := loadgen.Run(context.Background(), loadgen.Config{
+			URL:           url,
+			Clients:       clients,
+			RPS:           rps,
+			Duration:      duration,
+			ChaosFraction: chaos,
+			Seed:          seed + int64(i)*104729,
+		})
+		if err != nil {
+			return fmt.Errorf("level rps=%g: %w", rps, err)
+		}
+		rep.Levels = append(rep.Levels, lvl)
+		fmt.Fprintf(os.Stderr, "ataqc-bench:   sent=%d ok=%d degraded=%d shed=%d retries=%d p50=%.1fms p99=%.1fms chaos=%d/%d\n",
+			lvl.Sent, lvl.OK, lvl.Degraded, lvl.Shed, lvl.Retries,
+			lvl.LatencyMs.P50, lvl.LatencyMs.P99, lvl.Chaos.Sent-lvl.Chaos.ContractViolations, lvl.Chaos.Sent)
+	}
+
+	// The run's central claim: after everything above, the daemon is alive
+	// and still answering.
+	rep.DaemonOK = ping(url) == nil
+
+	if err := emit(rep, out); err != nil {
+		return err
+	}
+	return gate(rep, maxP99)
+}
+
+// gate turns the report into the CI pass/fail verdict.
+func gate(rep *benchReport, maxP99 float64) error {
+	if !rep.DaemonOK {
+		return fmt.Errorf("daemon did not survive the run (healthz failed)")
+	}
+	for _, lvl := range rep.Levels {
+		if lvl.Chaos.ContractViolations > 0 {
+			return fmt.Errorf("rps=%g: %d chaos scenarios got unstructured answers: %v",
+				lvl.TargetRPS, lvl.Chaos.ContractViolations, lvl.Chaos.Violated)
+		}
+		if lvl.Sent > 0 && lvl.OK == 0 && lvl.Shed == 0 {
+			return fmt.Errorf("rps=%g: no request succeeded or was shed — daemon answered nothing useful", lvl.TargetRPS)
+		}
+		if maxP99 > 0 && lvl.LatencyMs.P99 > maxP99 {
+			return fmt.Errorf("rps=%g: p99 %.1fms exceeds the %.1fms gate", lvl.TargetRPS, lvl.LatencyMs.P99, maxP99)
+		}
+	}
+	return nil
+}
+
+func parseRates(s string) ([]float64, error) {
+	var rates []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(part, 64)
+		if err != nil || r < 0 {
+			return nil, fmt.Errorf("bad rps %q", part)
+		}
+		rates = append(rates, r)
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("no load levels in %q", s)
+	}
+	return rates, nil
+}
+
+func ping(url string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimSuffix(url, "/")+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz answered %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func emit(rep *benchReport, out string) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(out, b, 0o644)
+}

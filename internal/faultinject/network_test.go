@@ -1,0 +1,116 @@
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/ata-pattern/ataqc/internal/serve"
+)
+
+// startDaemon boots the real serving stack — serve.Server wrapped in an
+// http.Server configured exactly like cmd/ataqcd (ReadHeaderTimeout is the
+// slow-loris defense under test) — on an ephemeral port.
+func startDaemon(t *testing.T) (baseURL string) {
+	t.Helper()
+	srv := serve.New(serve.Config{Workers: 2, QueueDepth: 4})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 500 * time.Millisecond,
+	}
+	go hs.Serve(l)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+	})
+	return fmt.Sprintf("http://%s", l.Addr())
+}
+
+// TestNetworkFaultsHoldTheContract drives every hostile-client scenario
+// against a live daemon and asserts the robustness contract: each answer is
+// either structured or a legitimate connection reclaim, and the daemon is
+// still compiling afterwards.
+func TestNetworkFaultsHoldTheContract(t *testing.T) {
+	baseURL := startDaemon(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	for _, f := range NetworkFaults() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			rep := f.Run(ctx, baseURL)
+			if rep.Err != nil {
+				t.Fatalf("unexpected transport failure: %v", rep.Err)
+			}
+			if !rep.Ok() {
+				t.Fatalf("contract violated: status %d structured=%v", rep.Status, rep.Structured)
+			}
+			// The daemon survived this scenario and still serves.
+			if err := probe(baseURL); err != nil {
+				t.Fatalf("daemon unhealthy after %s: %v", f.Name, err)
+			}
+		})
+	}
+}
+
+// TestNetworkFaultExpectedStatuses pins the taxonomy for the payload-level
+// scenarios: hostility in the body maps to the documented status codes.
+func TestNetworkFaultExpectedStatuses(t *testing.T) {
+	baseURL := startDaemon(t)
+	ctx := context.Background()
+	want := []struct {
+		name   string
+		status int
+	}{
+		{"network/oversized-graph", http.StatusRequestEntityTooLarge},
+		{"network/malformed-json", http.StatusBadRequest},
+		{"network/wrong-content-type", http.StatusBadRequest},
+		{"network/unknown-field", http.StatusBadRequest},
+	}
+	byName := map[string]NetworkFault{}
+	for _, f := range NetworkFaults() {
+		byName[f.Name] = f
+	}
+	for _, tc := range want {
+		f, ok := byName[tc.name]
+		if !ok {
+			t.Fatalf("scenario %s missing from NetworkFaults", tc.name)
+		}
+		rep := f.Run(ctx, baseURL)
+		if rep.Err != nil {
+			t.Fatalf("%s: transport failure: %v", tc.name, rep.Err)
+		}
+		if rep.Status != tc.status {
+			t.Errorf("%s: status %d, want %d", tc.name, rep.Status, tc.status)
+		}
+		if !rep.Structured {
+			t.Errorf("%s: error answer was not a structured envelope", tc.name)
+		}
+	}
+}
+
+func probe(baseURL string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz %d", resp.StatusCode)
+	}
+	return nil
+}

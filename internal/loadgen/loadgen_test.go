@@ -1,0 +1,75 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/ata-pattern/ataqc/internal/obs"
+	"github.com/ata-pattern/ataqc/internal/serve"
+)
+
+// TestRunClosedLoop drives a short closed-loop level with a chaos arm
+// against a live serving stack and checks the report adds up.
+func TestRunClosedLoop(t *testing.T) {
+	srv := serve.New(serve.Config{Workers: 2, QueueDepth: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		URL:           ts.URL,
+		Clients:       4,
+		Duration:      2 * time.Second,
+		ChaosFraction: 0.25,
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Sent == 0 || rep.OK == 0 {
+		t.Fatalf("no successful traffic: %+v", rep)
+	}
+	if rep.Chaos.Sent == 0 {
+		t.Fatalf("chaos arm never fired: %+v", rep)
+	}
+	if rep.Chaos.ContractViolations > 0 {
+		t.Fatalf("daemon violated the chaos contract: %+v", rep.Chaos)
+	}
+	if rep.LatencyMs.P50 <= 0 || rep.LatencyMs.P99 < rep.LatencyMs.P50 {
+		t.Fatalf("implausible latency quantiles: %+v", rep.LatencyMs)
+	}
+	if rep.LatencyMs.Max < rep.LatencyMs.P99 {
+		t.Fatalf("max below p99: %+v", rep.LatencyMs)
+	}
+	if rep.AchievedRPS <= 0 {
+		t.Fatalf("achieved rps not computed: %+v", rep)
+	}
+}
+
+// TestHistQuantile pins the bucket-interpolation math on a hand-built
+// snapshot: 100 observations, 50 in (64,128], 49 in (128,256], 1 in the
+// tail.
+func TestHistQuantile(t *testing.T) {
+	h := obs.HistogramSnapshot{
+		Count: 100,
+		Buckets: []obs.BucketCount{
+			{Upper: 128, Count: 50},
+			{Upper: 256, Count: 49},
+			{Upper: 1024, Count: 1},
+		},
+	}
+	if p50 := histQuantile(h, 900, 0.50); p50 < 1 || p50 > 128 {
+		t.Fatalf("p50 = %g, want within the first bucket", p50)
+	}
+	if p90 := histQuantile(h, 900, 0.90); p90 <= 128 || p90 > 256 {
+		t.Fatalf("p90 = %g, want within (128,256]", p90)
+	}
+	// The tail bucket is clamped to the observed max, not its nominal edge.
+	if p100 := histQuantile(h, 900, 1.0); p100 > 900 {
+		t.Fatalf("p100 = %g, want <= observed max 900", p100)
+	}
+	if q := histQuantile(obs.HistogramSnapshot{}, 0, 0.99); q != 0 {
+		t.Fatalf("empty histogram quantile = %g, want 0", q)
+	}
+}

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/ata-pattern/ataqc/internal/core"
+	"github.com/ata-pattern/ataqc/internal/greedy"
+)
+
+// Code is a machine-readable error class the service returns alongside the
+// HTTP status. Clients branch on the code, not the message: messages are
+// diagnostic prose and may change, codes are the API contract.
+type Code string
+
+const (
+	// CodeInvalidRequest (400): the request body failed validation before a
+	// compile started — malformed JSON, unknown fields, bad architecture or
+	// strategy names, out-of-range edges or options.
+	CodeInvalidRequest Code = "invalid_request"
+	// CodePayloadTooLarge (413): the request body exceeded the configured
+	// byte cap and was rejected before being read.
+	CodePayloadTooLarge Code = "payload_too_large"
+	// CodeUnreachable (422): the problem spans disconnected parts of the
+	// device's coupling graph (greedy.ErrUnreachable) — no router can place
+	// it, so retrying is pointless.
+	CodeUnreachable Code = "unreachable"
+	// CodeUncompilable (422): the compiler rejected the device/strategy
+	// combination (e.g. the hybrid strategy on an architecture with no
+	// structured pattern, or a scheduler stall with no ATA fallback).
+	CodeUncompilable Code = "uncompilable"
+	// CodeOverloaded (429): admission control shed the request because the
+	// queue was full. The response carries a Retry-After hint; clients
+	// should back off with jitter.
+	CodeOverloaded Code = "overloaded"
+	// CodeDraining (503): the daemon is shutting down and no longer admits
+	// work; in-flight jobs are still draining.
+	CodeDraining Code = "draining"
+	// CodeClientClosed (499, nginx convention): the client canceled the
+	// request (connection closed) while it was queued or compiling.
+	CodeClientClosed Code = "client_closed"
+	// CodeDeadline (504): the per-request deadline expired on a strategy
+	// with no degradation floor, so no circuit could be returned.
+	CodeDeadline Code = "deadline_exceeded"
+	// CodeBudgetExhausted (504): the work budget (MaxNodes) ran out on a
+	// strategy with no degradation floor (core.ErrBudgetExhausted).
+	CodeBudgetExhausted Code = "budget_exhausted"
+	// CodeInternal (500): a compiler invariant broke (core.ErrInternal) or a
+	// handler panicked. The daemon survives — panic isolation converts the
+	// crash into this structured answer.
+	CodeInternal Code = "internal"
+)
+
+// StatusClientClosedRequest is the non-standard 499 status (nginx
+// convention) for requests abandoned by the client.
+const StatusClientClosedRequest = 499
+
+// apiError pairs an HTTP status with a structured error body.
+type apiError struct {
+	Status  int    `json:"-"`
+	Code    Code   `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("serve: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+func errInvalid(format string, args ...any) *apiError {
+	return &apiError{Status: http.StatusBadRequest, Code: CodeInvalidRequest, Message: fmt.Sprintf(format, args...)}
+}
+
+// classify maps a compile-path error onto the service taxonomy. The order
+// matters: internal invariant violations are checked first so a panic
+// breadcrumb that happens to wrap another sentinel still reports as 500,
+// and explicit cancellation beats the deadline class because a canceled
+// caller is gone regardless of why.
+func classify(err error) *apiError {
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		return ae
+	case errors.Is(err, core.ErrInternal):
+		return &apiError{Status: http.StatusInternalServerError, Code: CodeInternal, Message: err.Error()}
+	case errors.Is(err, context.Canceled):
+		return &apiError{Status: StatusClientClosedRequest, Code: CodeClientClosed, Message: err.Error()}
+	case errors.Is(err, context.DeadlineExceeded):
+		return &apiError{Status: http.StatusGatewayTimeout, Code: CodeDeadline, Message: err.Error()}
+	case errors.Is(err, core.ErrBudgetExhausted):
+		return &apiError{Status: http.StatusGatewayTimeout, Code: CodeBudgetExhausted, Message: err.Error()}
+	case errors.Is(err, greedy.ErrUnreachable):
+		return &apiError{Status: http.StatusUnprocessableEntity, Code: CodeUnreachable, Message: err.Error()}
+	case errors.Is(err, greedy.ErrNoProgress), errors.Is(err, greedy.ErrInterrupted):
+		return &apiError{Status: http.StatusUnprocessableEntity, Code: CodeUncompilable, Message: err.Error()}
+	default:
+		// Everything else CompileContext returns is an input-shaped
+		// rejection (device/strategy mismatch, missing calibration): the
+		// compiler wraps genuine internal failures in ErrInternal at its
+		// panic boundary, so an unrecognised error here is the request's
+		// fault, not the server's.
+		return &apiError{Status: http.StatusUnprocessableEntity, Code: CodeUncompilable, Message: err.Error()}
+	}
+}

@@ -1,0 +1,394 @@
+// Package serve is the robustness layer of the compile-as-a-service daemon
+// (cmd/ataqcd): admission control with a bounded queue and explicit 429
+// load shedding, per-request panic isolation, a queue-pressure degradation
+// policy that tightens compile budgets as backlog grows (reusing the
+// compiler's governance ladder, so starved requests still return
+// verifier-clean linear-depth circuits), health/readiness endpoints, and
+// graceful shutdown that drains in-flight jobs under a deadline.
+//
+// The contract the chaos harness (internal/faultinject network faults +
+// cmd/ataqc-bench -chaos) enforces: no hostile client behavior — malformed
+// payloads, truncated bodies, header stalls, mid-request cancellations,
+// queue overflow, panic-injected compiles — may kill the daemon or elicit
+// an unstructured answer. Every response is either a compiled circuit or a
+// typed JSON error with a machine-readable code.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	ataqc "github.com/ata-pattern/ataqc"
+	"github.com/ata-pattern/ataqc/internal/obs"
+)
+
+// CompileFunc is the compile entry point the server drives; tests and chaos
+// harnesses substitute their own.
+type CompileFunc func(ctx context.Context, dev *ataqc.Device, prob *ataqc.Problem, opts ataqc.Options) (*ataqc.Result, error)
+
+// Config sizes the server's admission control and budgets. Zero values take
+// the documented defaults.
+type Config struct {
+	// Workers is the compile worker pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the waiting room beyond the running workers
+	// (default 4x workers). Arrivals beyond workers+queue are shed with a
+	// 429 instead of queued — bounded latency beats unbounded patience.
+	QueueDepth int
+	// RequestTimeout is the per-request compile ceiling (default 30s);
+	// queue pressure tightens it further (see pressure.go).
+	RequestTimeout time.Duration
+	// DrainTimeout caps how long Shutdown waits for in-flight jobs
+	// (default 10s).
+	DrainTimeout time.Duration
+	// MaxBodyBytes caps the request body (default DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// MaxQubits caps the per-request device/problem size (default
+	// DefaultMaxQubits).
+	MaxQubits int
+	// AllowChaos honors the request Chaos field (panic / sleep injection).
+	// Off by default; the CI chaos job and -chaos bench runs enable it.
+	AllowChaos bool
+	// Compile overrides the compile entry point (default
+	// ataqc.CompileContext).
+	Compile CompileFunc
+	// Logf, when non-nil, receives one line per notable event (shed,
+	// panic, drain).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.MaxQubits <= 0 {
+		c.MaxQubits = DefaultMaxQubits
+	}
+	if c.Compile == nil {
+		c.Compile = ataqc.CompileContext
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the compile service. Construct with New, mount Handler on an
+// http.Server, and call Shutdown to drain.
+type Server struct {
+	cfg      Config
+	policy   pressurePolicy
+	slots    chan struct{} // worker-pool tokens
+	queued   atomic.Int64  // admitted requests (waiting + running)
+	inflight sync.WaitGroup
+	draining atomic.Bool
+	met      *obs.Registry
+	mux      *http.ServeMux
+}
+
+// New returns a server ready to mount.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		policy: pressurePolicy{queueDepth: cfg.Workers + cfg.QueueDepth, ceiling: cfg.RequestTimeout},
+		slots:  make(chan struct{}, cfg.Workers),
+		met:    obs.NewRegistry(),
+		mux:    http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/compile", s.guard(s.handleCompile))
+	s.mux.HandleFunc("/healthz", s.guard(s.handleHealthz))
+	s.mux.HandleFunc("/readyz", s.guard(s.handleReadyz))
+	s.mux.HandleFunc("/statz", s.guard(s.handleStatz))
+	return s
+}
+
+// Handler returns the HTTP surface: POST /compile, GET /healthz, /readyz,
+// /statz.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's registry (latency histograms, shed/degrade
+// counters, queue gauge) for benches and tests.
+func (s *Server) Metrics() *obs.Registry { return s.met }
+
+// Queued reports the admitted requests currently waiting or running.
+func (s *Server) Queued() int64 { return s.queued.Load() }
+
+// Capacity reports the admission bound (workers + queue depth).
+func (s *Server) Capacity() int { return s.cfg.Workers + s.cfg.QueueDepth }
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown stops admitting work and waits for in-flight jobs to drain,
+// bounded by the earlier of ctx and the configured DrainTimeout. It returns
+// nil when the queue drained and an error naming the stragglers' count when
+// the deadline won.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.DrainTimeout)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.cfg.Logf("serve: drained cleanly")
+		return nil
+	case <-ctx.Done():
+		n := s.queued.Load()
+		s.cfg.Logf("serve: drain deadline passed with %d in flight", n)
+		return fmt.Errorf("serve: drain deadline passed with %d requests in flight", n)
+	}
+}
+
+// guard is the per-request panic boundary: a panic anywhere in a handler is
+// converted into a structured 500 (when the response has not started) and
+// the daemon keeps serving. This is the outermost isolation layer; the
+// compiler has its own recover at core.CompileContext, so this one catches
+// handler bugs and injected chaos panics.
+func (s *Server) guard(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tw := &trackingWriter{ResponseWriter: w}
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.met.Counter("serve.panics").Add(1)
+				s.cfg.Logf("serve: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				if !tw.wrote {
+					writeError(tw, &apiError{
+						Status:  http.StatusInternalServerError,
+						Code:    CodeInternal,
+						Message: fmt.Sprintf("panic: %v", rec),
+					})
+				}
+			}
+		}()
+		h(tw, r)
+	}
+}
+
+// trackingWriter records whether the response has started, so the panic
+// guard knows if a structured error can still be written.
+type trackingWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (t *trackingWriter) WriteHeader(code int) {
+	t.wrote = true
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *trackingWriter) Write(b []byte) (int, error) {
+	t.wrote = true
+	return t.ResponseWriter.Write(b)
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, &apiError{Status: http.StatusMethodNotAllowed, Code: CodeInvalidRequest,
+			Message: "POST only"})
+		return
+	}
+	s.met.Counter("serve.requests").Add(1)
+	if s.draining.Load() {
+		writeError(w, &apiError{Status: http.StatusServiceUnavailable, Code: CodeDraining,
+			Message: "daemon is draining; no new work admitted"})
+		return
+	}
+
+	// Parse before admission: rejecting malformed bodies must not consume
+	// queue capacity, and MaxBytesReader bounds what a hostile body can
+	// make us read.
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	req, dev, prob, opts, err := parseRequest(r.Body, s.cfg.MaxQubits)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	var chaosSleep time.Duration
+	if req.Chaos != "" {
+		if !s.cfg.AllowChaos {
+			s.fail(w, errInvalid("chaos directives are disabled on this daemon"))
+			return
+		}
+		if chaosSleep, err = parseChaos(req.Chaos); err != nil {
+			s.fail(w, err)
+			return
+		}
+	}
+
+	// Admission: claim a queue position or shed. The counter is the single
+	// source of truth — increment first, then check, so concurrent
+	// arrivals cannot both squeeze into the last position.
+	queued := s.queued.Add(1)
+	s.met.Gauge("serve.queue").Set(queued)
+	if queued > int64(s.Capacity()) {
+		s.queued.Add(-1)
+		s.met.Counter("serve.shed").Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, &apiError{Status: http.StatusTooManyRequests, Code: CodeOverloaded,
+			Message: fmt.Sprintf("queue full (%d in flight); retry with backoff", queued-1)})
+		return
+	}
+	s.inflight.Add(1)
+	defer func() {
+		s.queued.Add(-1)
+		s.inflight.Done()
+	}()
+
+	ctx := r.Context()
+	enq := time.Now()
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		s.fail(w, ctx.Err()) // client gave up while queued
+		return
+	}
+	defer func() { <-s.slots }()
+	s.met.Histogram("serve.queue_wait_us").Observe(time.Since(enq).Microseconds())
+
+	// Chaos injection (only with AllowChaos): a panicking compile must be
+	// answered structurally, a sleeping one holds the worker slot so tests
+	// and the bench can build real backlog.
+	if req.Chaos == "panic" {
+		panic(fmt.Sprintf("serve: chaos-injected compile panic (%s)", dev.Name()))
+	}
+	if chaosSleep > 0 {
+		select {
+		case <-time.After(chaosSleep):
+		case <-ctx.Done():
+			s.fail(w, ctx.Err())
+			return
+		}
+	}
+
+	// Pressure is sampled at compile start: the budgets reflect the
+	// backlog the daemon carries right now, not when the request arrived.
+	level := s.policy.level(s.queued.Load())
+	deadline, maxNodes := s.policy.budgets(level, opts.Deadline, opts.MaxNodes)
+	opts.Deadline, opts.MaxNodes = deadline, maxNodes
+	s.met.Counter(fmt.Sprintf("serve.pressure.%d", level)).Add(1)
+
+	cctx, cancel := context.WithTimeout(ctx, deadline+time.Second) // the compiler's own ladder fires first
+	defer cancel()
+	start := time.Now()
+	res, err := s.cfg.Compile(cctx, dev, prob, opts)
+	elapsed := time.Since(start)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.met.Counter("serve.ok").Add(1)
+	s.met.Histogram("serve.latency_us").Observe(elapsed.Microseconds())
+
+	resp := &CompileResponse{
+		Device:       dev.Name(),
+		DeviceQubits: dev.Qubits(),
+		Qubits:       prob.Qubits(),
+		Interactions: prob.Interactions(),
+		Strategy:     string(opts.Strategy),
+		Depth:        res.Depth(),
+		CXCount:      res.CXCount(),
+		Swaps:        res.SwapCount(),
+		Initial:      res.InitialMapping(),
+		Final:        res.FinalMapping(),
+		Pressure:     level,
+		ElapsedMs:    float64(elapsed.Microseconds()) / 1e3,
+	}
+	if req.Noise {
+		resp.Fidelity = res.EstimatedFidelity()
+	}
+	if res.Degraded() {
+		s.met.Counter("serve.degraded").Add(1)
+		d := res.DegradeDetail()
+		resp.Degraded = true
+		resp.DegradeBudget, resp.DegradeRung = d.Budget, d.Rung
+	}
+	if req.IncludeQASM {
+		var sb strings.Builder
+		if err := res.WriteQASM(&sb); err != nil {
+			s.fail(w, fmt.Errorf("serve: QASM serialization failed: %w", err))
+			return
+		}
+		resp.QASM = sb.String()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Liveness: the process is up and the mux answers. Always 200 — a
+	// draining or saturated daemon is still alive.
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	// Readiness: admitting new work. Draining flips it so load balancers
+	// stop routing before the listener closes.
+	body := map[string]any{
+		"queued":   s.queued.Load(),
+		"capacity": s.Capacity(),
+	}
+	if s.draining.Load() {
+		body["status"] = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	body["status"] = "ready"
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	snap := s.met.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"counters":   snap.Counters,
+		"gauges":     snap.Gauges,
+		"histograms": snap.Histograms,
+	})
+}
+
+// fail classifies err and writes the structured error, bumping the
+// per-code counter.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	ae := classify(err)
+	s.met.Counter("serve.errors." + string(ae.Code)).Add(1)
+	if ae.Status == http.StatusTooManyRequests || ae.Status >= 500 {
+		s.cfg.Logf("serve: %s", ae.Error())
+	}
+	writeError(w, ae)
+}
+
+func writeError(w http.ResponseWriter, ae *apiError) {
+	writeJSON(w, ae.Status, &ErrorResponse{Error: *ae})
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// An encode failure past WriteHeader cannot be answered structurally;
+	// the client sees a truncated body and treats it as a transport error.
+	_ = json.NewEncoder(w).Encode(body)
+}
