@@ -1,0 +1,199 @@
+// Command ataqc-cover is the per-package coverage regression gate. It
+// parses a merged `go test -coverprofile` profile, computes statement
+// coverage per package, and compares each against a checked-in floor file
+// (coverage_floors.json). A package below its floor — or one that vanished
+// from the profile entirely — fails the gate with a non-zero exit, so
+// coverage can only ratchet down by an explicit floor regeneration in the
+// same change.
+//
+// Usage:
+//
+//	go test -coverprofile=cover.out ./...
+//	ataqc-cover -profile cover.out -floors coverage_floors.json
+//
+// Regenerate floors (measured coverage minus -margin, floored at 0):
+//
+//	ataqc-cover -profile cover.out -floors coverage_floors.json -write
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// pkgCover accumulates statement counts for one package.
+type pkgCover struct {
+	Statements int
+	Covered    int
+}
+
+// Percent returns statement coverage in percent, 0 for empty packages.
+func (c pkgCover) Percent() float64 {
+	if c.Statements == 0 {
+		return 0
+	}
+	return 100 * float64(c.Covered) / float64(c.Statements)
+}
+
+// parseProfile reads a go coverage profile ("mode: ..." header followed by
+// "file.go:startL.startC,endL.endC numStmts count" lines) and aggregates
+// statement coverage per package import path (the directory of each file).
+//
+// Blocks for the same source region can repeat in merged profiles; each
+// line is counted as written, matching `go tool cover -func` semantics
+// closely enough for a regression floor.
+func parseProfile(r io.Reader) (map[string]pkgCover, error) {
+	out := make(map[string]pkgCover)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		colon := strings.LastIndex(line, ".go:")
+		if colon < 0 {
+			return nil, fmt.Errorf("line %d: not a coverage block: %q", lineNo, line)
+		}
+		file := line[:colon+3]
+		rest := line[colon+4:]
+		fields := strings.Fields(rest)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("line %d: want 'range stmts count', got %q", lineNo, rest)
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: statement count: %w", lineNo, err)
+		}
+		count, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: hit count: %w", lineNo, err)
+		}
+		pkg := path.Dir(file)
+		c := out[pkg]
+		c.Statements += stmts
+		if count > 0 {
+			c.Covered += stmts
+		}
+		out[pkg] = c
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// gate compares measured per-package coverage against floors and returns
+// human-readable regression messages (empty = pass). Packages measured but
+// absent from the floors pass — they are picked up at the next -write.
+func gate(measured map[string]pkgCover, floors map[string]float64) []string {
+	var bad []string
+	pkgs := make([]string, 0, len(floors))
+	for pkg := range floors {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	for _, pkg := range pkgs {
+		floor := floors[pkg]
+		cov, ok := measured[pkg]
+		if !ok {
+			bad = append(bad, fmt.Sprintf(
+				"%s: absent from the coverage profile (floor %.1f%%) — deleted packages need a floor regeneration (-write)",
+				pkg, floor))
+			continue
+		}
+		if got := cov.Percent(); got < floor {
+			bad = append(bad, fmt.Sprintf("%s: coverage %.1f%% below floor %.1f%%", pkg, got, floor))
+		}
+	}
+	return bad
+}
+
+// writeFloors serialises floors as sorted, indented JSON with a trailing
+// newline — the exact bytes checked in as coverage_floors.json.
+func writeFloors(w io.Writer, measured map[string]pkgCover, margin float64) error {
+	floors := make(map[string]float64, len(measured))
+	for pkg, cov := range measured {
+		f := cov.Percent() - margin
+		if f < 0 {
+			f = 0
+		}
+		floors[pkg] = math.Floor(f*10) / 10 // one decimal, rounded down
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(floors)
+}
+
+func run() error {
+	profilePath := flag.String("profile", "cover.out", "merged go test -coverprofile output")
+	floorsPath := flag.String("floors", "coverage_floors.json", "per-package coverage floor file")
+	write := flag.Bool("write", false, "regenerate the floor file from the profile instead of gating")
+	margin := flag.Float64("margin", 2.0, "slack subtracted from measured coverage when writing floors (points)")
+	flag.Parse()
+
+	pf, err := os.Open(*profilePath)
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	measured, err := parseProfile(pf)
+	if err != nil {
+		return fmt.Errorf("parse %s: %w", *profilePath, err)
+	}
+	if len(measured) == 0 {
+		return fmt.Errorf("%s holds no coverage blocks", *profilePath)
+	}
+
+	if *write {
+		out, err := os.Create(*floorsPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := writeFloors(out, measured, *margin); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d package floors to %s (margin %.1f points)\n",
+			len(measured), *floorsPath, *margin)
+		return nil
+	}
+
+	raw, err := os.ReadFile(*floorsPath)
+	if err != nil {
+		return err
+	}
+	floors := make(map[string]float64)
+	if err := json.Unmarshal(raw, &floors); err != nil {
+		return fmt.Errorf("parse %s: %w", *floorsPath, err)
+	}
+	if bad := gate(measured, floors); len(bad) > 0 {
+		for _, msg := range bad {
+			fmt.Fprintln(os.Stderr, msg)
+		}
+		return fmt.Errorf("%d package(s) regressed below their coverage floor", len(bad))
+	}
+	fmt.Printf("coverage gate: %d floors held\n", len(floors))
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ataqc-cover:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleProfile = `mode: set
+github.com/ata-pattern/ataqc/internal/greedy/engine.go:10.2,12.3 4 1
+github.com/ata-pattern/ataqc/internal/greedy/engine.go:14.2,16.3 6 0
+github.com/ata-pattern/ataqc/internal/greedy/reference.go:8.2,9.3 10 1
+github.com/ata-pattern/ataqc/internal/serve/pressure.go:42.2,44.3 5 3
+`
+
+func TestParseProfilePerPackage(t *testing.T) {
+	got, err := parseProfile(strings.NewReader(sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy := got["github.com/ata-pattern/ataqc/internal/greedy"]
+	if greedy.Statements != 20 || greedy.Covered != 14 {
+		t.Fatalf("greedy = %+v, want 14/20", greedy)
+	}
+	if pct := greedy.Percent(); pct != 70 {
+		t.Fatalf("greedy percent = %g, want 70", pct)
+	}
+	serve := got["github.com/ata-pattern/ataqc/internal/serve"]
+	if serve.Statements != 5 || serve.Covered != 5 {
+		t.Fatalf("serve = %+v, want 5/5", serve)
+	}
+}
+
+func TestParseProfileRejectsGarbage(t *testing.T) {
+	if _, err := parseProfile(strings.NewReader("mode: set\nnot a block\n")); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+	if _, err := parseProfile(strings.NewReader("mode: set\nf.go:1.1,2.2 x 1\n")); err == nil {
+		t.Fatal("non-numeric statement count accepted")
+	}
+}
+
+func TestGate(t *testing.T) {
+	measured := map[string]pkgCover{
+		"a": {Statements: 10, Covered: 9}, // 90%
+		"b": {Statements: 10, Covered: 5}, // 50%
+	}
+
+	// Held floors pass; a package above its floor passes.
+	if bad := gate(measured, map[string]float64{"a": 85, "b": 50}); len(bad) != 0 {
+		t.Fatalf("held floors flagged: %v", bad)
+	}
+	// A regression fails with the package named.
+	bad := gate(measured, map[string]float64{"a": 95})
+	if len(bad) != 1 || !strings.Contains(bad[0], "a:") {
+		t.Fatalf("regression not flagged: %v", bad)
+	}
+	// A package present in floors but missing from the profile fails: a
+	// silently vanished package must not read as "no regression".
+	bad = gate(measured, map[string]float64{"gone": 10})
+	if len(bad) != 1 || !strings.Contains(bad[0], "absent") {
+		t.Fatalf("vanished package not flagged: %v", bad)
+	}
+	// Measured packages without floors pass (picked up at next -write).
+	if bad := gate(measured, map[string]float64{}); len(bad) != 0 {
+		t.Fatalf("floorless packages flagged: %v", bad)
+	}
+}
+
+func TestWriteFloorsAppliesMarginAndRoundsDown(t *testing.T) {
+	measured := map[string]pkgCover{
+		"x": {Statements: 3, Covered: 2}, // 66.66...%
+		"y": {Statements: 10, Covered: 0},
+	}
+	var sb strings.Builder
+	if err := writeFloors(&sb, measured, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// 66.66 - 2 = 64.66 -> floored to one decimal = 64.6; 0 - 2 clamps to 0.
+	if !strings.Contains(out, `"x": 64.6`) {
+		t.Fatalf("margin/rounding wrong: %s", out)
+	}
+	if !strings.Contains(out, `"y": 0`) {
+		t.Fatalf("negative floor not clamped: %s", out)
+	}
+}

@@ -1,0 +1,266 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/circuit"
+	"github.com/ata-pattern/ataqc/internal/graph"
+	"github.com/ata-pattern/ataqc/internal/greedy"
+)
+
+// Greedy engine labels recorded in BENCH_greedy.json entries.
+const (
+	GreedyEngineReference = "reference" // pre-rewrite scheduler (maps, per-cycle conflict graphs, builder dispatch)
+	GreedyEnginePacked    = "packed"    // flat-arena engine + bulk materialization
+)
+
+// GreedyBenchEntry is one (instance, engine) measurement of the greedy
+// scheduling + materialization phases. Identical exists so the regression
+// harness can assert the packed engine reproduced the reference circuit
+// byte for byte; SchedLoopAllocs pins the zero-steady-state-allocation
+// contract in the checked-in artifact.
+type GreedyBenchEntry struct {
+	Instance     string  `json:"instance"` // e.g. "grid-100/er-0.5"
+	Arch         string  `json:"arch"`
+	Qubits       int     `json:"qubits"`        // physical qubits
+	Logical      int     `json:"logical"`       // problem vertices
+	ProblemEdges int     `json:"problem_edges"` // program gates to schedule
+	Engine       string  `json:"engine"`
+	CircuitGates int     `json:"circuit_gates"`
+	Swaps        int     `json:"swaps"`
+	Cycles       int     `json:"cycles"`
+	SchedSeconds float64 `json:"sched_seconds"` // best-of-Repeats scheduling wall clock
+	MatSeconds   float64 `json:"mat_seconds"`   // best-of-Repeats materialization wall clock
+	Seconds      float64 `json:"seconds"`       // SchedSeconds + MatSeconds
+	// Speedup is the reference engine's Seconds on the same instance divided
+	// by this entry's (1.0 for the reference row itself).
+	Speedup float64 `json:"speedup"`
+	// Identical reports gate-for-gate, mapping, and cycle-count equality
+	// with the reference engine on this instance (true on reference rows).
+	Identical bool `json:"identical"`
+	// SchedLoopAllocs is the steady-state heap allocations per scheduling
+	// run (packed rows only; the contract is 0).
+	SchedLoopAllocs float64 `json:"sched_loop_allocs"`
+}
+
+// GreedyBench is the document serialised to BENCH_greedy.json; see
+// EXPERIMENTS.md for the schema contract.
+type GreedyBench struct {
+	Entries []GreedyBenchEntry `json:"entries"`
+}
+
+// GreedyBenchConfig sizes the sweep.
+type GreedyBenchConfig struct {
+	// Quick restricts the sweep to CI-sized instances (36-qubit devices);
+	// off, the 100+ qubit headline instances run too.
+	Quick bool
+	// Repeats is the wall-clock samples per cell, best kept (default 3).
+	Repeats int
+}
+
+// greedyInstance is one benchmark workload.
+type greedyInstance struct {
+	name  string
+	a     *arch.Arch
+	p     *graph.Graph
+	opts  greedy.Options
+	heavy bool // 100+ qubit instance, skipped in Quick mode
+}
+
+func greedyInstances(quick bool) []greedyInstance {
+	out := []greedyInstance{
+		{
+			name: "grid-36/er-0.5",
+			a:    arch.Grid(6, 6),
+			p:    graph.GnpConnected(36, 0.5, rand.New(rand.NewSource(61))),
+		},
+		{
+			name: "heavyhex-32/er-0.3",
+			a:    arch.HeavyHexN(32),
+			p:    graph.GnpConnected(28, 0.3, rand.New(rand.NewSource(62))),
+		},
+		{
+			name: "grid-36/er-0.5/xtalk",
+			a:    arch.Grid(6, 6),
+			p:    graph.GnpConnected(36, 0.5, rand.New(rand.NewSource(63))),
+			opts: greedy.Options{CrosstalkAware: true},
+		},
+	}
+	if !quick {
+		out = append(out, greedyInstance{
+			name:  "grid-100/er-0.5",
+			a:     arch.Grid(10, 10),
+			p:     graph.GnpConnected(100, 0.5, rand.New(rand.NewSource(64))),
+			heavy: true,
+		})
+	}
+	return out
+}
+
+// materializeReference replays a compiled gate stream through the per-gate
+// builder dispatch — the pre-rewrite hybrid materialization path.
+func materializeReference(a *arch.Arch, nLogical int, initial []int, gates []circuit.Gate) *circuit.Builder {
+	b := circuit.NewBuilder(a, nLogical, initial)
+	for _, gt := range gates {
+		switch gt.Kind {
+		case circuit.GateZZ:
+			b.ZZ(gt.Q0, gt.Q1, gt.Angle, gt.Tag)
+		case circuit.GateSwap:
+			b.Swap(gt.Q0, gt.Q1)
+		case circuit.GateZZSwap:
+			b.ZZSwap(gt.Q0, gt.Q1, gt.Angle, gt.Tag)
+		default:
+			b.C.Append(gt)
+		}
+	}
+	return b
+}
+
+// sameResult reports byte-identity of two greedy results (gates, mappings,
+// cycle count).
+func sameResult(x, y *greedy.Result) bool {
+	if x.Cycles != y.Cycles || len(x.Circuit.Gates) != len(y.Circuit.Gates) {
+		return false
+	}
+	for i := range x.Circuit.Gates {
+		if x.Circuit.Gates[i] != y.Circuit.Gates[i] {
+			return false
+		}
+	}
+	for l := range x.Initial {
+		if x.Initial[l] != y.Initial[l] || x.Final[l] != y.Final[l] {
+			return false
+		}
+	}
+	return true
+}
+
+// RunGreedyBench measures the packed greedy engine + bulk materialization
+// against the preserved reference scheduler + per-gate builder replay on
+// ER instances at CI and headline (100-qubit) sizes. It returns an error —
+// not just a slow number — when the packed output diverges from the
+// reference on any instance, so the CI regression gate fails loudly on an
+// equivalence break.
+func RunGreedyBench(cfg GreedyBenchConfig) (*GreedyBench, error) {
+	if cfg.Repeats <= 0 {
+		cfg.Repeats = 3
+	}
+	out := &GreedyBench{}
+	for _, inst := range greedyInstances(cfg.Quick) {
+		inst.a.Distances() // outside the timed region
+		initial := greedy.InitialMapping(inst.a, inst.p)
+
+		type engineRun struct {
+			label string
+			sched func() (*greedy.Result, error)
+			mat   func(res *greedy.Result) *circuit.Builder
+		}
+		engines := []engineRun{
+			{
+				label: GreedyEngineReference,
+				sched: func() (*greedy.Result, error) {
+					return greedy.ReferenceCompile(inst.a, inst.p, initial, inst.opts)
+				},
+				mat: func(res *greedy.Result) *circuit.Builder {
+					return materializeReference(inst.a, inst.p.N(), initial, res.Circuit.Gates)
+				},
+			},
+			{
+				label: GreedyEnginePacked,
+				sched: func() (*greedy.Result, error) {
+					return greedy.Compile(inst.a, inst.p, initial, inst.opts)
+				},
+				mat: func(res *greedy.Result) *circuit.Builder {
+					b := circuit.NewBuilder(inst.a, inst.p.N(), initial)
+					b.ReplayPrefix(res.Circuit.Gates)
+					return b
+				},
+			},
+		}
+
+		var refEntry *GreedyBenchEntry
+		var refRes *greedy.Result
+		for _, eng := range engines {
+			var res *greedy.Result
+			schedBest, matBest := -1.0, -1.0
+			for rep := 0; rep < cfg.Repeats; rep++ {
+				t0 := time.Now()
+				r, err := eng.sched()
+				schedSec := time.Since(t0).Seconds()
+				if err != nil {
+					return nil, fmt.Errorf("greedy bench: %s on %s: %w", eng.label, inst.name, err)
+				}
+				t1 := time.Now()
+				b := eng.mat(r)
+				matSec := time.Since(t1).Seconds()
+				if len(b.C.Gates) != len(r.Circuit.Gates) {
+					return nil, fmt.Errorf("greedy bench: %s on %s: materialization produced %d gates, scheduler %d",
+						eng.label, inst.name, len(b.C.Gates), len(r.Circuit.Gates))
+				}
+				fin := b.CurrentMapping()
+				for l := range fin {
+					if fin[l] != r.Final[l] {
+						return nil, fmt.Errorf("greedy bench: %s on %s: materialized final mapping diverged at logical %d",
+							eng.label, inst.name, l)
+					}
+				}
+				res = r
+				if schedBest < 0 || schedSec < schedBest {
+					schedBest = schedSec
+				}
+				if matBest < 0 || matSec < matBest {
+					matBest = matSec
+				}
+			}
+			counts := res.Circuit.GateCount()
+			e := GreedyBenchEntry{
+				Instance:     inst.name,
+				Arch:         inst.a.Name,
+				Qubits:       inst.a.N(),
+				Logical:      inst.p.N(),
+				ProblemEdges: inst.p.M(),
+				Engine:       eng.label,
+				CircuitGates: len(res.Circuit.Gates),
+				Swaps:        counts[circuit.GateSwap] + counts[circuit.GateZZSwap],
+				Cycles:       res.Cycles,
+				SchedSeconds: schedBest,
+				MatSeconds:   matBest,
+				Seconds:      schedBest + matBest,
+			}
+			if eng.label == GreedyEngineReference {
+				e.Speedup, e.Identical = 1, true
+				out.Entries = append(out.Entries, e)
+				refEntry = &out.Entries[len(out.Entries)-1]
+				refRes = res
+				continue
+			}
+			e.Identical = sameResult(refRes, res)
+			if !e.Identical {
+				return nil, fmt.Errorf("greedy regression: packed engine diverged from reference on %s", inst.name)
+			}
+			if e.Seconds > 0 {
+				e.Speedup = refEntry.Seconds / e.Seconds
+			}
+			allocs, err := greedy.SchedulingLoopAllocs(inst.a, inst.p, initial, inst.opts, 5)
+			if err != nil {
+				return nil, fmt.Errorf("greedy bench: alloc probe on %s: %w", inst.name, err)
+			}
+			e.SchedLoopAllocs = allocs
+			out.Entries = append(out.Entries, e)
+		}
+	}
+	return out, nil
+}
+
+// WriteJSON serialises the benchmark document (indented, trailing newline)
+// — the exact bytes checked in as BENCH_greedy.json.
+func (s *GreedyBench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// TestGreedyBenchRegression is the CI gate for the packed greedy rewrite:
+// it runs the scheduling + materialization sweep (CI sizes in -short mode),
+// hard-fails unless every packed row is byte-identical to the reference
+// (RunGreedyBench returns divergence as an error), holds the steady-state
+// allocation count at zero, and enforces a conservative speedup floor so a
+// performance regression cannot land silently — the checked-in
+// BENCH_greedy.json records the real (much larger) margins. Set
+// BENCH_GREEDY_OUT to regenerate the artifact, which adds the grid-100
+// headline instance: BENCH_GREEDY_OUT=BENCH_greedy.json go test
+// ./internal/bench -run TestGreedyBenchRegression.
+func TestGreedyBenchRegression(t *testing.T) {
+	out := os.Getenv("BENCH_GREEDY_OUT")
+	cfg := GreedyBenchConfig{Quick: out == "", Repeats: 3}
+	if testing.Short() {
+		cfg.Repeats = 2
+	}
+	s, err := RunGreedyBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Entries) == 0 {
+		t.Fatal("no benchmark entries produced")
+	}
+	for _, e := range s.Entries {
+		t.Logf("%s %s: gates=%d cycles=%d sched=%.4fs mat=%.5fs speedup=%.2fx identical=%v allocs=%.1f",
+			e.Instance, e.Engine, e.CircuitGates, e.Cycles, e.SchedSeconds, e.MatSeconds,
+			e.Speedup, e.Identical, e.SchedLoopAllocs)
+		if !e.Identical {
+			t.Fatalf("%s %s: output not identical to reference", e.Instance, e.Engine)
+		}
+		if e.Engine != GreedyEnginePacked {
+			continue
+		}
+		if e.SchedLoopAllocs != 0 {
+			t.Fatalf("%s: scheduling loop allocates %.1f objects per run, want 0",
+				e.Instance, e.SchedLoopAllocs)
+		}
+		// CI floor, not the headline number: shared runners are noisy, so the
+		// gate only catches order-of-magnitude regressions (the artifact
+		// records >=5x on grid-100).
+		if e.Speedup < 1.2 {
+			t.Fatalf("%s: packed speedup %.2fx under the 1.2x regression floor", e.Instance, e.Speedup)
+		}
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := s.WriteJSON(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -86,6 +86,34 @@ func (b *Builder) ZZSwap(p, q int, angle float64, tag graph.Edge) {
 	b.swapMapping(p, q)
 }
 
+// Reserve ensures capacity for at least n further gates, so a bulk replay
+// or a compile with a known gate count appends without regrowing.
+func (b *Builder) Reserve(n int) {
+	if cap(b.C.Gates)-len(b.C.Gates) >= n {
+		return
+	}
+	gs := make([]Gate, len(b.C.Gates), len(b.C.Gates)+n)
+	copy(gs, b.C.Gates)
+	b.C.Gates = gs
+}
+
+// ReplayPrefix appends an already-compiled gate sequence in bulk — one
+// copy, then one pass folding its SWAPs into the mapping — instead of
+// dispatching per-gate builder calls. Unlike ZZ/Swap/ZZSwap it does not
+// re-validate couplings or qubit ranges: the prefix must come from a
+// compiler result that already passed verification (the hybrid compiler
+// replays greedy output here, and core re-verifies the final circuit).
+func (b *Builder) ReplayPrefix(gs []Gate) {
+	b.Reserve(len(gs))
+	b.C.Gates = append(b.C.Gates, gs...)
+	for i := range gs {
+		switch gs[i].Kind {
+		case GateSwap, GateZZSwap:
+			b.swapMapping(gs[i].Q0, gs[i].Q1)
+		}
+	}
+}
+
 func (b *Builder) swapMapping(p, q int) {
 	lp, lq := b.P2L[p], b.P2L[q]
 	b.P2L[p], b.P2L[q] = lq, lp

@@ -1,0 +1,107 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/graph"
+)
+
+// randomCompiledSequence builds a plausible compiled gate stream (program
+// gates on coupled pairs interleaved with mapping-changing SWAPs/ZZSwaps)
+// by walking a live builder, returning the gates and the initial mapping.
+func randomCompiledSequence(t *testing.T, a *arch.Arch, nGates int, rng *rand.Rand) ([]Gate, []int) {
+	t.Helper()
+	n := a.N()
+	b := NewBuilder(a, n, nil)
+	couplings := a.G.Edges()
+	for len(b.C.Gates) < nGates {
+		c := couplings[rng.Intn(len(couplings))]
+		lu, lv := b.LogicalAt(c.U), b.LogicalAt(c.V)
+		switch rng.Intn(3) {
+		case 0:
+			b.ZZ(c.U, c.V, 0.5, graph.NewEdge(lu, lv))
+		case 1:
+			b.Swap(c.U, c.V)
+		default:
+			b.ZZSwap(c.U, c.V, 0.25, graph.NewEdge(lu, lv))
+		}
+	}
+	init := b.InitialMapping()
+	return b.C.Gates, init
+}
+
+// TestReplayPrefixMatchesPerGateReplay pins the bulk replay path the hybrid
+// materializer uses: for random compiled sequences, ReplayPrefix must leave
+// the builder in exactly the state the per-gate ZZ/Swap/ZZSwap calls would.
+func TestReplayPrefixMatchesPerGateReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, a := range []*arch.Arch{arch.Line(7), arch.Grid(3, 4), arch.HeavyHex(2, 8)} {
+		for trial := 0; trial < 5; trial++ {
+			gates, init := randomCompiledSequence(t, a, 40+rng.Intn(40), rng)
+			prefix := gates[:rng.Intn(len(gates)+1)]
+
+			ref := NewBuilder(a, a.N(), init)
+			for _, g := range prefix {
+				switch g.Kind {
+				case GateZZ:
+					ref.ZZ(g.Q0, g.Q1, g.Angle, g.Tag)
+				case GateSwap:
+					ref.Swap(g.Q0, g.Q1)
+				case GateZZSwap:
+					ref.ZZSwap(g.Q0, g.Q1, g.Angle, g.Tag)
+				default:
+					ref.C.Append(g)
+				}
+			}
+
+			bulk := NewBuilder(a, a.N(), init)
+			bulk.ReplayPrefix(prefix)
+
+			if len(bulk.C.Gates) != len(ref.C.Gates) {
+				t.Fatalf("%s: bulk gate count %d != %d", a.Name, len(bulk.C.Gates), len(ref.C.Gates))
+			}
+			for i := range ref.C.Gates {
+				if bulk.C.Gates[i] != ref.C.Gates[i] {
+					t.Fatalf("%s: gate %d differs: %+v != %+v", a.Name, i, bulk.C.Gates[i], ref.C.Gates[i])
+				}
+			}
+			for l := 0; l < a.N(); l++ {
+				if bulk.PhysOf(l) != ref.PhysOf(l) {
+					t.Fatalf("%s: L2P[%d] = %d != %d", a.Name, l, bulk.PhysOf(l), ref.PhysOf(l))
+				}
+			}
+			for p := 0; p < a.N(); p++ {
+				if bulk.LogicalAt(p) != ref.LogicalAt(p) {
+					t.Fatalf("%s: P2L[%d] = %d != %d", a.Name, p, bulk.LogicalAt(p), ref.LogicalAt(p))
+				}
+			}
+		}
+	}
+}
+
+// TestReserveKeepsGatesAndGrowsCapacity checks Reserve preserves contents
+// and that a reserved builder appends without reallocating.
+func TestReserveKeepsGatesAndGrowsCapacity(t *testing.T) {
+	a := arch.Line(4)
+	b := NewBuilder(a, 4, nil)
+	b.ZZ(0, 1, 1, graph.NewEdge(0, 1))
+	before := append([]Gate(nil), b.C.Gates...)
+	b.Reserve(100)
+	if cap(b.C.Gates)-len(b.C.Gates) < 100 {
+		t.Fatalf("reserve left headroom %d", cap(b.C.Gates)-len(b.C.Gates))
+	}
+	for i := range before {
+		if b.C.Gates[i] != before[i] {
+			t.Fatal("reserve corrupted existing gates")
+		}
+	}
+	base := &b.C.Gates[0]
+	for i := 0; i < 100; i++ {
+		b.Swap(i%3, i%3+1)
+	}
+	if &b.C.Gates[0] != base {
+		t.Fatal("appends within reserved capacity still reallocated")
+	}
+}

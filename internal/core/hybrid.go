@@ -141,20 +141,11 @@ func compileHybrid(a *arch.Arch, problem *graph.Graph, initial []int, opts Optio
 	b := circuit.NewBuilder(a, problem.N(), initial)
 	var mErr error
 	obs.PhaseLabel(bud.ctx, "ata", func(context.Context) {
-		for _, gt := range gates[:best.cp.prefixLen] {
-			switch gt.Kind {
-			case circuit.GateZZ:
-				b.ZZ(gt.Q0, gt.Q1, gt.Angle, gt.Tag)
-			case circuit.GateSwap:
-				b.Swap(gt.Q0, gt.Q1)
-			case circuit.GateZZSwap:
-				// Must go through the builder so its mapping stays in lockstep
-				// — a raw Append would leave the claimed final mapping stale.
-				b.ZZSwap(gt.Q0, gt.Q1, gt.Angle, gt.Tag)
-			default:
-				b.C.Append(gt)
-			}
-		}
+		// Bulk replay: one copy plus a SWAP-folding pass keeps the builder's
+		// mapping in lockstep without per-gate dispatch or re-validation —
+		// the prefix is verified greedy output, and the assembled circuit is
+		// strict-verified again before Compile returns.
+		b.ReplayPrefix(gates[:best.cp.prefixLen])
 		want := remainingAfterPrefix(problem, gates[:best.cp.prefixLen])
 		st := swapnet.NewStateFromMapping(a, best.cp.l2p, want)
 		mErr = runATARegionsTraced(st, b, opts.Angle, cache, rec.tr, mph.span)

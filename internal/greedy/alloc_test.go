@@ -1,0 +1,50 @@
+package greedy
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/graph"
+)
+
+// TestPackedEngineZeroAllocs pins the tentpole's allocation contract: once
+// an engine's arenas are warm, a full scheduling run (everything except the
+// Result materialisation, which by design hands out fresh memory) performs
+// zero heap allocations. Any map, closure, or slice regression in the hot
+// loop shows up here as a hard failure.
+func TestPackedEngineZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation and pool semantics skew allocation counts")
+	}
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"plain", Options{}},
+		{"crosstalk", Options{CrosstalkAware: true}},
+	}
+	a := arch.Grid(6, 6)
+	rng := rand.New(rand.NewSource(17))
+	p := graph.GnpConnected(20, 0.5, rng)
+	init := InitialMapping(a, p)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := acquireEngine(a)
+			defer releaseEngine(eng)
+			for i := 0; i < 3; i++ { // warm every arena to steady-state capacity
+				if err := eng.run(p, init, tc.opts); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(20, func() {
+				if err := eng.run(p, init, tc.opts); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("scheduling loop allocates %.1f objects per compile, want 0", allocs)
+			}
+		})
+	}
+}

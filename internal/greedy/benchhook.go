@@ -1,0 +1,38 @@
+package greedy
+
+import (
+	"runtime"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/graph"
+)
+
+// SchedulingLoopAllocs measures steady-state heap allocations per run of
+// the packed scheduling loop (everything except Result materialisation,
+// which intentionally allocates caller-owned memory). It warms one engine's
+// arenas, then counts mallocs across runs. Module-internal benchmark
+// support only — the BENCH_greedy.json harness records this, and the CI
+// regression gate holds it at zero; the equivalent in-test pin is
+// TestPackedEngineZeroAllocs.
+func SchedulingLoopAllocs(a *arch.Arch, problem *graph.Graph, initial []int, opts Options, runs int) (float64, error) {
+	if runs <= 0 {
+		runs = 10
+	}
+	eng := acquireEngine(a)
+	defer releaseEngine(eng)
+	for i := 0; i < 3; i++ {
+		if err := eng.run(problem, initial, opts); err != nil {
+			return 0, err
+		}
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		if err := eng.run(problem, initial, opts); err != nil {
+			return 0, err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs), nil
+}

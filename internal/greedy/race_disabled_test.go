@@ -1,0 +1,5 @@
+//go:build !race
+
+package greedy
+
+const raceEnabled = false

@@ -73,3 +73,55 @@ func TestHistQuantile(t *testing.T) {
 		t.Fatalf("empty histogram quantile = %g, want 0", q)
 	}
 }
+
+// TestHistQuantileEdgeCases pins the interpolation's degenerate shapes:
+// empty histograms, a single populated bucket, and a p99 that lands in the
+// unbounded overflow bucket (Upper < 0), which must clamp to the observed
+// maximum instead of extrapolating to infinity.
+func TestHistQuantileEdgeCases(t *testing.T) {
+	// Empty histogram: every quantile is 0 regardless of maxObserved.
+	empty := obs.HistogramSnapshot{}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := histQuantile(empty, 12345, q); got != 0 {
+			t.Fatalf("empty histogram q=%g = %g, want 0", q, got)
+		}
+	}
+
+	// Single bucket (0,128] with 4 observations: quantiles interpolate
+	// linearly from the bucket's lower edge. Ranks 1 and 2 of 4 land at
+	// exactly 1/4 and 1/2 of the bucket width.
+	single := obs.HistogramSnapshot{
+		Count:   4,
+		Buckets: []obs.BucketCount{{Upper: 128, Count: 4}},
+	}
+	if got := histQuantile(single, 128, 0.25); got != 32 {
+		t.Fatalf("single-bucket p25 = %g, want 32", got)
+	}
+	if got := histQuantile(single, 128, 0.50); got != 64 {
+		t.Fatalf("single-bucket p50 = %g, want 64", got)
+	}
+	if got := histQuantile(single, 128, 1); got != 128 {
+		t.Fatalf("single-bucket p100 = %g, want 128", got)
+	}
+
+	// p99 in the overflow bucket: 95 observations in (0,64], 5 in the
+	// unbounded tail, observed max 500. The tail's upper edge must clamp
+	// to 500, putting the estimate at lower + 0.8*(500-65) = 413.
+	overflow := obs.HistogramSnapshot{
+		Count: 100,
+		Buckets: []obs.BucketCount{
+			{Upper: 64, Count: 95},
+			{Upper: -1, Count: 5},
+		},
+	}
+	p99 := histQuantile(overflow, 500, 0.99)
+	if p99 <= 64 || p99 > 500 {
+		t.Fatalf("overflow p99 = %g, want within (64, 500]", p99)
+	}
+	if p99 < 412 || p99 > 414 {
+		t.Fatalf("overflow p99 = %g, want ~413 (linear within the clamped tail)", p99)
+	}
+	if got := histQuantile(overflow, 500, 1); got != 500 {
+		t.Fatalf("overflow p100 = %g, want clamped max 500", got)
+	}
+}

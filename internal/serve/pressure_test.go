@@ -36,6 +36,71 @@ func TestPressureLevels(t *testing.T) {
 	}
 }
 
+// TestPressureLevelBoundaries walks the exact admission-count transitions
+// of the governance ladder for several server shapes. The denominator is
+// the server's full capacity (Workers + QueueDepth, as wired in New), so
+// the table pins the three operational points the daemon actually visits —
+// empty (0), all workers busy (Workers), and full capacity — plus the
+// first queued count that leaves Relaxed (ceil(depth/2)) and the first
+// that reaches Critical (ceil(7*depth/8)).
+func TestPressureLevelBoundaries(t *testing.T) {
+	shapes := []struct {
+		workers, queue int
+	}{
+		{2, 4},  // ataqcd CI shape
+		{2, 6},  // default queue = 4*workers
+		{8, 32}, // larger default shape
+		{1, 1},  // minimal: elevated and critical nearly coincide
+		{3, 5},
+	}
+	for _, sh := range shapes {
+		depth := sh.workers + sh.queue
+		p := pressurePolicy{queueDepth: depth, ceiling: time.Second}
+		firstElevated := (depth + 1) / 2
+		firstCritical := (7*depth + 7) / 8
+
+		cases := []struct {
+			queued int64
+			want   int
+		}{
+			{0, PressureRelaxed},
+			{int64(firstElevated) - 1, PressureRelaxed},
+			{int64(firstElevated), PressureElevated},
+			{int64(firstCritical) - 1, PressureElevated},
+			{int64(firstCritical), PressureCritical},
+			{int64(depth), PressureCritical}, // full capacity is always critical: 8*depth >= 7*depth
+			{int64(depth) + 1, PressureCritical},
+		}
+		// Degenerate shapes where the elevated band is empty.
+		if firstElevated >= firstCritical {
+			cases[3].want = PressureRelaxed // firstCritical-1 < firstElevated
+		}
+		for _, tc := range cases {
+			if tc.queued < 0 {
+				continue
+			}
+			if got := p.level(tc.queued); got != tc.want {
+				t.Errorf("shape %d+%d: level(%d) = %d, want %d",
+					sh.workers, sh.queue, tc.queued, got, tc.want)
+			}
+		}
+
+		// All workers busy but nothing queued must never be Critical: the
+		// ladder only degrades output once a real backlog forms.
+		if got := p.level(int64(sh.workers)); got == PressureCritical && sh.workers < firstCritical {
+			t.Errorf("shape %d+%d: busy workers alone reached critical", sh.workers, sh.queue)
+		}
+	}
+
+	// Guard clause: a zero/negative denominator never throttles.
+	p := pressurePolicy{queueDepth: 0, ceiling: time.Second}
+	for _, q := range []int64{0, 1, 1 << 30} {
+		if got := p.level(q); got != PressureRelaxed {
+			t.Errorf("queueDepth=0: level(%d) = %d, want relaxed", q, got)
+		}
+	}
+}
+
 func TestPressureBudgetsOnlyTighten(t *testing.T) {
 	p := pressurePolicy{queueDepth: 16, ceiling: 8 * time.Second}
 
