@@ -36,6 +36,20 @@ type benchReport struct {
 	Seed     int64             `json:"seed"`
 	Levels   []*loadgen.Report `json:"levels"`
 	DaemonOK bool              `json:"daemonOk"`
+	// Metrics is the daemon-side view of the run, present when
+	// -scrape-interval is set: the final metricsz scrape (flattened
+	// Prometheus samples) plus scrape bookkeeping.
+	Metrics *metricsSection `json:"metrics,omitempty"`
+}
+
+// metricsSection summarizes the metricsz scrapes taken during the run.
+type metricsSection struct {
+	ScrapeIntervalSec float64 `json:"scrapeIntervalSec"`
+	Scrapes           int     `json:"scrapes"`
+	ScrapeErrors      int     `json:"scrapeErrors"`
+	// Final maps each sample of the last successful scrape — the labeled
+	// Prometheus series name exactly as exposed — to its value.
+	Final map[string]float64 `json:"final,omitempty"`
 }
 
 func main() {
@@ -48,15 +62,16 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload and jitter seed")
 		out      = flag.String("out", "", "write the JSON report here ('' = stdout)")
 		maxP99   = flag.Float64("max-p99-ms", 0, "fail when any level's p99 exceeds this many ms (0 = no gate)")
+		scrape   = flag.Duration("scrape-interval", 0, "scrape the daemon's metricsz at this interval during the run and embed the final scrape in the report (0 = off)")
 	)
 	flag.Parse()
-	if err := run(*url, *rpsList, *clients, *duration, *chaos, *seed, *out, *maxP99); err != nil {
+	if err := run(*url, *rpsList, *clients, *duration, *chaos, *seed, *out, *maxP99, *scrape); err != nil {
 		fmt.Fprintf(os.Stderr, "ataqc-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(url, rpsList string, clients int, duration time.Duration, chaos float64, seed int64, out string, maxP99 float64) error {
+func run(url, rpsList string, clients int, duration time.Duration, chaos float64, seed int64, out string, maxP99 float64, scrapeEvery time.Duration) error {
 	rates, err := parseRates(rpsList)
 	if err != nil {
 		return err
@@ -66,6 +81,10 @@ func run(url, rpsList string, clients int, duration time.Duration, chaos float64
 	}
 
 	rep := &benchReport{URL: url, Seed: seed}
+	var sc *scraper
+	if scrapeEvery > 0 {
+		sc = startScraper(url, scrapeEvery)
+	}
 	for i, rps := range rates {
 		fmt.Fprintf(os.Stderr, "ataqc-bench: level %d/%d rps=%g clients=%d duration=%s chaos=%g\n",
 			i+1, len(rates), rps, clients, duration, chaos)
@@ -89,6 +108,9 @@ func run(url, rpsList string, clients int, duration time.Duration, chaos float64
 	// The run's central claim: after everything above, the daemon is alive
 	// and still answering.
 	rep.DaemonOK = ping(url) == nil
+	if sc != nil {
+		rep.Metrics = sc.stop()
+	}
 
 	if err := emit(rep, out); err != nil {
 		return err
@@ -105,6 +127,10 @@ func gate(rep *benchReport, maxP99 float64) error {
 		if lvl.Chaos.ContractViolations > 0 {
 			return fmt.Errorf("rps=%g: %d chaos scenarios got unstructured answers: %v",
 				lvl.TargetRPS, lvl.Chaos.ContractViolations, lvl.Chaos.Violated)
+		}
+		if lvl.TraceIDViolations > 0 {
+			return fmt.Errorf("rps=%g: %d responses arrived without a well-formed trace ID",
+				lvl.TargetRPS, lvl.TraceIDViolations)
 		}
 		if lvl.Sent > 0 && lvl.OK == 0 && lvl.Shed == 0 {
 			return fmt.Errorf("rps=%g: no request succeeded or was shed — daemon answered nothing useful", lvl.TargetRPS)

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// scraper polls the daemon's metricsz endpoint in the background and
+// keeps the most recent successful scrape, so the bench report can embed
+// the daemon-side counters that explain the client-side numbers (shed vs
+// pressure levels, per-endpoint status mix, latency histograms).
+type scraper struct {
+	interval time.Duration
+	cancel   context.CancelFunc
+	done     chan struct{}
+
+	// owned by the loop until done is closed
+	scrapes int
+	errors  int
+	final   map[string]float64
+}
+
+func startScraper(url string, interval time.Duration) *scraper {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &scraper{interval: interval, cancel: cancel, done: make(chan struct{})}
+	target := strings.TrimSuffix(url, "/") + "/metricsz"
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				// One last scrape after the load stops: the final counters
+				// are the ones worth embedding.
+				if m, err := scrapeOnce(target); err == nil {
+					s.scrapes++
+					s.final = m
+				} else {
+					s.errors++
+				}
+				return
+			case <-tick.C:
+				if m, err := scrapeOnce(target); err == nil {
+					s.scrapes++
+					s.final = m
+				} else {
+					s.errors++
+				}
+			}
+		}
+	}()
+	return s
+}
+
+// stop ends the polling (taking a final scrape) and returns the section.
+func (s *scraper) stop() *metricsSection {
+	s.cancel()
+	<-s.done
+	return &metricsSection{
+		ScrapeIntervalSec: s.interval.Seconds(),
+		Scrapes:           s.scrapes,
+		ScrapeErrors:      s.errors,
+		Final:             s.final,
+	}
+}
+
+// scrapeOnce fetches and flattens one Prometheus text exposition into a
+// samples map keyed by the labeled series name exactly as exposed.
+func scrapeOnce(target string) (map[string]float64, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// name{labels} value — the value is everything after the last space
+		// so label values containing spaces cannot confuse the split.
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:sp]] = v
+	}
+	return out, sc.Err()
+}

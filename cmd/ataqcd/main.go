@@ -12,8 +12,16 @@
 //
 //	POST /compile   compile a problem (serve.CompileRequest JSON)
 //	GET  /healthz   liveness (always 200 while the process runs)
-//	GET  /readyz    readiness (503 while draining)
-//	GET  /statz     metrics snapshot (counters, gauges, histograms)
+//	GET  /readyz    readiness (503 while draining; SLO burn warnings)
+//	GET  /statz     metrics snapshot (counters, gauges, histograms,
+//	                SLO burn rates, flight-recorder stats)
+//	GET  /metricsz  Prometheus text exposition of the same registry
+//	GET  /debugz    flight recorder: recent + in-flight jobs with phase
+//	                timelines; ?stream=sse|ndjson follows commits live
+//
+// Every response carries an X-Ataqc-Trace-Id header (echoed in JSON
+// bodies); grep the daemon log or query debugz with it to follow one
+// request end to end.
 //
 // Pair with cmd/ataqc-bench to load-test and chaos-test a running daemon.
 package main
@@ -31,6 +39,7 @@ import (
 	"time"
 
 	"github.com/ata-pattern/ataqc/internal/serve"
+	"github.com/ata-pattern/ataqc/internal/telemetry"
 )
 
 func main() {
@@ -43,6 +52,13 @@ func main() {
 		maxBody  = flag.Int64("max-body", serve.DefaultMaxBodyBytes, "request body cap in bytes")
 		maxQubit = flag.Int("max-qubits", serve.DefaultMaxQubits, "per-request device/problem size cap")
 		chaos    = flag.Bool("chaos", false, "honor request chaos directives (panic/sleep injection) for robustness testing")
+
+		recSize    = flag.Int("recorder-size", 256, "flight-recorder ring capacity (completed requests debugz can replay)")
+		sloWindow  = flag.Duration("slo-window", 5*time.Minute, "SLO rolling measurement window")
+		sloLatency = flag.Duration("slo-latency", time.Second, "SLO latency objective: target fraction of successes must finish within this")
+		sloLatPct  = flag.Float64("slo-latency-target", 0.99, "fraction of successful answers that must meet -slo-latency")
+		sloErrPct  = flag.Float64("slo-error-target", 0.999, "fraction of requests that must not end in a 5xx")
+		sloDegPct  = flag.Float64("slo-degrade-target", 0.9, "fraction of successful answers that must be full fidelity (undegraded)")
 	)
 	flag.Parse()
 	if err := run(*addr, serve.Config{
@@ -53,7 +69,15 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		MaxQubits:      *maxQubit,
 		AllowChaos:     *chaos,
-		Logf:           log.Printf,
+		RecorderSize:   *recSize,
+		SLO: telemetry.SLOConfig{
+			Window:        *sloWindow,
+			Latency:       *sloLatency,
+			LatencyTarget: *sloLatPct,
+			ErrorTarget:   *sloErrPct,
+			DegradeTarget: *sloDegPct,
+		},
+		Logf: log.Printf,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "ataqcd: %v\n", err)
 		os.Exit(1)

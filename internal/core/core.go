@@ -31,6 +31,7 @@ import (
 	"github.com/ata-pattern/ataqc/internal/noise"
 	"github.com/ata-pattern/ataqc/internal/obs"
 	"github.com/ata-pattern/ataqc/internal/swapnet"
+	"github.com/ata-pattern/ataqc/internal/telemetry"
 	"github.com/ata-pattern/ataqc/internal/verify"
 )
 
@@ -225,11 +226,19 @@ func CompileContext(ctx context.Context, a *arch.Arch, problem *graph.Graph, opt
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
-	rec.root = rec.tr.StartSpan(nil, "compile",
+	rootAttrs := []obs.Attr{
 		obs.Str("mode", opts.Mode.String()),
 		obs.Int("qubits", a.N()),
 		obs.Int("edges", problem.M()),
-		obs.Int("workers", opts.Workers))
+		obs.Int("workers", opts.Workers),
+	}
+	// When the serving layer admitted this compile, its request trace ID
+	// rides the context; stamping it on the root span ties the compile's
+	// whole span tree to the daemon's logs and flight-recorder entry.
+	if id := telemetry.TraceIDFrom(ctx); id != "" {
+		rootAttrs = append(rootAttrs, obs.Str("trace_id", string(id)))
+	}
+	rec.root = rec.tr.StartSpan(nil, "compile", rootAttrs...)
 	defer rec.root.End()
 	bud := newBudget(ctx, start, opts, rec.clock)
 	initial := opts.InitialMapping

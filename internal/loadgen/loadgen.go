@@ -26,6 +26,7 @@ import (
 	"github.com/ata-pattern/ataqc/internal/faultinject"
 	"github.com/ata-pattern/ataqc/internal/obs"
 	"github.com/ata-pattern/ataqc/internal/serve"
+	"github.com/ata-pattern/ataqc/internal/telemetry"
 )
 
 // Config sizes one load level.
@@ -112,6 +113,11 @@ type Report struct {
 	// Errors histograms every other final status ("status_500": n) plus
 	// "transport" for connection-level failures.
 	Errors map[string]int64 `json:"errors,omitempty"`
+	// TraceIDViolations counts responses (any status, retries included)
+	// that arrived without a well-formed X-Ataqc-Trace-Id header. The
+	// telemetry contract says every response carries one, so the bench
+	// gate fails on a non-zero count.
+	TraceIDViolations int64 `json:"traceIdViolations"`
 	// LatencyMs covers successful (2xx) exchanges only, measured
 	// client-side including queue wait.
 	LatencyMs Quantiles    `json:"latencyMs"`
@@ -199,8 +205,11 @@ func doRequest(ctx context.Context, client *http.Client, cfg Config, rng *rand.R
 	backoff := cfg.BaseBackoff
 	for attempt := 0; ; attempt++ {
 		start := time.Now()
-		status, degraded, err := postOnce(ctx, client, cfg.URL, body)
+		status, degraded, traceOK, err := postOnce(ctx, client, cfg.URL, body)
 		elapsed := time.Since(start)
+		if err == nil && !traceOK {
+			reg.Counter("trace.violations").Add(1)
+		}
 		switch {
 		case err != nil:
 			if ctx.Err() != nil {
@@ -240,28 +249,31 @@ func doRequest(ctx context.Context, client *http.Client, cfg Config, rng *rand.R
 	}
 }
 
-// postOnce performs a single exchange, reporting the status and whether the
-// answer was a degraded compile.
-func postOnce(ctx context.Context, client *http.Client, url, body string) (int, bool, error) {
+// postOnce performs a single exchange, reporting the status, whether the
+// answer was a degraded compile, and whether it carried a well-formed
+// trace ID header (checked on EVERY status — the shed/error paths are
+// exactly where a missing ID would go unnoticed).
+func postOnce(ctx context.Context, client *http.Client, url, body string) (int, bool, bool, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, strings.TrimSuffix(url, "/")+"/compile", strings.NewReader(body))
 	if err != nil {
-		return 0, false, err
+		return 0, false, false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, false, err
+		return 0, false, false, err
 	}
 	defer resp.Body.Close()
+	traceOK := telemetry.TraceID(resp.Header.Get(telemetry.TraceHeader)).Valid()
 	if resp.StatusCode != http.StatusOK {
 		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
-		return resp.StatusCode, false, nil
+		return resp.StatusCode, false, traceOK, nil
 	}
 	var m struct {
 		Degraded bool `json:"degraded"`
 	}
 	_ = json.NewDecoder(resp.Body).Decode(&m)
-	return resp.StatusCode, m.Degraded, nil
+	return resp.StatusCode, m.Degraded, traceOK, nil
 }
 
 // problemMix builds the deterministic compile-request mix: small, medium,
@@ -297,14 +309,15 @@ func problemMix() ([]string, error) {
 func buildReport(reg *obs.Registry, cfg Config, elapsed time.Duration) *Report {
 	snap := reg.Snapshot()
 	rep := &Report{
-		TargetRPS:   cfg.RPS,
-		Clients:     cfg.Clients,
-		DurationSec: elapsed.Seconds(),
-		Sent:        snap.Counters["sent"],
-		OK:          snap.Counters["ok"],
-		Degraded:    snap.Counters["degraded"],
-		Shed:        snap.Counters["shed"],
-		Retries:     snap.Counters["retries"],
+		TargetRPS:         cfg.RPS,
+		Clients:           cfg.Clients,
+		DurationSec:       elapsed.Seconds(),
+		Sent:              snap.Counters["sent"],
+		OK:                snap.Counters["ok"],
+		Degraded:          snap.Counters["degraded"],
+		Shed:              snap.Counters["shed"],
+		Retries:           snap.Counters["retries"],
+		TraceIDViolations: snap.Counters["trace.violations"],
 		Chaos: ChaosSummary{
 			Sent:               snap.Counters["chaos.sent"],
 			ContractViolations: snap.Counters["chaos.violations"],

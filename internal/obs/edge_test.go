@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGaugeMaxUnderConcurrentSets hammers one gauge from many goroutines
+// and checks the high-water mark is exactly the largest value ever set,
+// regardless of interleaving.
+func TestGaugeMaxUnderConcurrentSets(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("storm")
+	const goroutines, sets = 16, 500
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < sets; i++ {
+				// Values cycle; the global maximum across all goroutines
+				// is (goroutines-1)*sets + (sets-1).
+				g.Set(int64(w*sets + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := int64((goroutines-1)*sets + sets - 1)
+	if got := g.Max(); got != want {
+		t.Fatalf("Max = %d, want %d", got, want)
+	}
+	snap := r.Snapshot()
+	if snap.Gauges["storm"].Max != want {
+		t.Fatalf("snapshot Max = %d, want %d", snap.Gauges["storm"].Max, want)
+	}
+	// The final Value is whatever Set landed last — only require that it
+	// is one of the values actually written.
+	if v := g.Value(); v < 0 || v > want {
+		t.Fatalf("Value = %d out of written range", v)
+	}
+}
+
+// TestWriteChromeUnfinishedChildSpan exports a trace whose child span
+// never ended (the panic / early-return case): the document must still
+// be valid JSON with the unfinished span as a zero-duration complete
+// event, not a truncated or negative-duration one.
+func TestWriteChromeUnfinishedChildSpan(t *testing.T) {
+	clk := newFakeClock(time.Millisecond)
+	tr := NewWithClock(clk)
+	root := tr.StartSpan(nil, "compile")
+	child := tr.StartSpan(root, "schedule")
+	_ = child // never ended
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Dur  *float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome output with unfinished child is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var sawChild bool
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Dur == nil {
+			t.Fatalf("complete event %q missing dur", ev.Name)
+		}
+		if ev.Dur != nil && *ev.Dur < 0 {
+			t.Fatalf("event %q has negative duration %v", ev.Name, *ev.Dur)
+		}
+		if ev.Name == "schedule" {
+			sawChild = true
+			if *ev.Dur != 0 {
+				t.Fatalf("unfinished child duration = %v, want 0", *ev.Dur)
+			}
+		}
+	}
+	if !sawChild {
+		t.Fatal("unfinished child span missing from export")
+	}
+}

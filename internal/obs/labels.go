@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// Label is one name/value dimension of a metric series. The registry's
+// name-to-handle maps are flat, so labeled series are encoded into the
+// metric name itself in a canonical text form ('base{k="v",k2="v2"}',
+// keys sorted, values escaped); Labeled produces that form and
+// SplitLabeled parses it back. Exporters that understand dimensions
+// (the Prometheus renderer in internal/telemetry) split the name; the
+// flat exporters in this package just carry the canonical string
+// through, which stays deterministic because the encoding is.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Labeled renders a canonical labeled metric name. With no labels it
+// returns base unchanged, so unlabeled call sites pay nothing. Label
+// keys are sorted; values are escaped Prometheus-style (backslash,
+// double quote, newline), making the encoding injective and the
+// resulting name a stable registry key.
+func Labeled(base string, labels ...Label) string {
+	if len(labels) == 0 {
+		return base
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// SplitLabeled parses a canonical labeled name back into its base and
+// labels. Names without a label block (or with a malformed one) are
+// returned whole with nil labels — an unlabeled series is the common
+// case and must never be mangled.
+func SplitLabeled(name string) (string, []Label) {
+	open := strings.IndexByte(name, '{')
+	if open <= 0 || !strings.HasSuffix(name, "}") {
+		return name, nil
+	}
+	base, block := name[:open], name[open+1:len(name)-1]
+	var labels []Label
+	for len(block) > 0 {
+		eq := strings.Index(block, `="`)
+		if eq < 0 {
+			return name, nil
+		}
+		key := block[:eq]
+		rest := block[eq+2:]
+		val, n, ok := unescapeLabelValue(rest)
+		if !ok {
+			return name, nil
+		}
+		labels = append(labels, Label{Key: key, Value: val})
+		block = rest[n:]
+		if strings.HasPrefix(block, ",") {
+			block = block[1:]
+		} else if block != "" {
+			return name, nil
+		}
+	}
+	return base, labels
+}
+
+// escapeLabelValue applies the Prometheus text-format label escaping.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// unescapeLabelValue reads an escaped value up to its closing quote,
+// returning the value, the bytes consumed (including the quote), and
+// whether the block was well-formed.
+func unescapeLabelValue(s string) (string, int, bool) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), i + 1, true
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, false
+			}
+			i++
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, false
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", 0, false
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLabeledCanonicalForm(t *testing.T) {
+	cases := []struct {
+		base   string
+		labels []Label
+		want   string
+	}{
+		{"plain", nil, "plain"},
+		{"m", []Label{{"k", "v"}}, `m{k="v"}`},
+		// Keys sort, so call-site order never forks a series.
+		{"m", []Label{{"z", "1"}, {"a", "2"}}, `m{a="2",z="1"}`},
+		{"m", []Label{{"k", `a"b\c` + "\n"}}, `m{k="a\"b\\c\n"}`},
+	}
+	for _, c := range cases {
+		if got := Labeled(c.base, c.labels...); got != c.want {
+			t.Errorf("Labeled(%q, %v) = %q, want %q", c.base, c.labels, got, c.want)
+		}
+	}
+	if Labeled("m", Label{"a", "1"}, Label{"b", "2"}) != Labeled("m", Label{"b", "2"}, Label{"a", "1"}) {
+		t.Error("label order leaked into the canonical name")
+	}
+}
+
+func TestSplitLabeledRoundTrip(t *testing.T) {
+	cases := [][]Label{
+		nil,
+		{{"endpoint", "compile"}},
+		{{"a", "1"}, {"b", "2"}},
+		{{"k", `tricky "quoted" \slash` + "\nline"}},
+		{{"k", ""}},
+	}
+	for _, labels := range cases {
+		name := Labeled("base.name", labels...)
+		base, got := SplitLabeled(name)
+		if base != "base.name" {
+			t.Errorf("SplitLabeled(%q) base = %q", name, base)
+		}
+		if len(labels) == 0 {
+			if got != nil {
+				t.Errorf("SplitLabeled(%q) labels = %v, want nil", name, got)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, labels) {
+			t.Errorf("SplitLabeled(%q) = %v, want %v", name, got, labels)
+		}
+	}
+}
+
+func TestSplitLabeledMalformed(t *testing.T) {
+	// Malformed label blocks must come back whole, not half-parsed: the
+	// flat exporters render whatever the registry key was.
+	for _, name := range []string{
+		"plain", "open{brace", `m{k="unterminated`, `m{noequals}`,
+		`m{k="v"trailing}`, `m{k="bad\escape"}`, "{}",
+	} {
+		base, labels := SplitLabeled(name)
+		if base != name || labels != nil {
+			t.Errorf("SplitLabeled(%q) = %q, %v; want identity", name, base, labels)
+		}
+	}
+	// An empty-but-closed block on a real base parses as no labels only
+	// via the identity path too (nothing to parse inside).
+	if base, labels := SplitLabeled("m{}"); base != "m" || labels != nil {
+		t.Errorf("SplitLabeled(m{}) = %q, %v", base, labels)
+	}
+}
+
+func TestLabeledRegistrySeriesAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter(Labeled("req", Label{"status", "200"}))
+	b := r.Counter(Labeled("req", Label{"status", "429"}))
+	if a == b {
+		t.Fatal("distinct label values share a counter")
+	}
+	a.Add(2)
+	b.Add(1)
+	snap := r.Snapshot()
+	if snap.Counters[`req{status="200"}`] != 2 || snap.Counters[`req{status="429"}`] != 1 {
+		t.Fatalf("snapshot %v", snap.Counters)
+	}
+}

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"github.com/ata-pattern/ataqc/internal/telemetry"
+)
+
+// debugzResponse is the JSON body of GET /debugz: the flight recorder's
+// in-flight jobs, its most recent completed records (newest first, after
+// filtering), and the recorder's own stats.
+type debugzResponse struct {
+	InFlight []telemetry.JobRecord   `json:"inflight"`
+	Recent   []telemetry.JobRecord   `json:"recent"`
+	Stats    telemetry.RecorderStats `json:"stats"`
+}
+
+// handleDebugz serves the flight recorder. Query parameters:
+//
+//	n=<count>        cap the completed records returned (default 32)
+//	status=<code>    only records that finished with this HTTP status
+//	degraded=<bool>  only degraded (true) or full-fidelity (false) compiles
+//	slow-ms=<f>      only records slower end-to-end than this
+//	stream=sse|ndjson  switch to a live stream of completed records
+//	                 (filters above still apply) until the client leaves
+//	                 or the daemon drains
+//
+// The snapshot form answers "what just happened"; the stream form follows
+// a chaos run or an incident live without polling.
+func (s *Server) handleDebugz(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	f, err := parseDebugzFilter(q)
+	if err != nil {
+		writeError(w, errInvalid("%v", err))
+		return
+	}
+	switch q.Get("stream") {
+	case "":
+		writeJSON(w, http.StatusOK, &debugzResponse{
+			InFlight: s.flight.InFlight(),
+			Recent:   s.flight.Recent(f),
+			Stats:    s.flight.Stats(),
+		})
+	case "ndjson", "sse":
+		s.streamDebugz(w, r, f, q.Get("stream") == "sse")
+	default:
+		writeError(w, errInvalid("unknown stream format %q (want sse or ndjson)", q.Get("stream")))
+	}
+}
+
+// parseDebugzFilter converts query parameters into a recorder filter.
+func parseDebugzFilter(q map[string][]string) (telemetry.Filter, error) {
+	f := telemetry.Filter{Limit: 32}
+	get := func(k string) string {
+		if vs := q[k]; len(vs) > 0 {
+			return vs[0]
+		}
+		return ""
+	}
+	if v := get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return f, fmt.Errorf("bad n %q", v)
+		}
+		f.Limit = n
+	}
+	if v := get("status"); v != "" {
+		st, err := strconv.Atoi(v)
+		if err != nil || st < 100 || st > 599 {
+			return f, fmt.Errorf("bad status %q", v)
+		}
+		f.Status = st
+	}
+	if v := get("degraded"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return f, fmt.Errorf("bad degraded %q", v)
+		}
+		f.Degraded = &b
+	}
+	if v := get("slow-ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			return f, fmt.Errorf("bad slow-ms %q", v)
+		}
+		f.SlowerThanMs = ms
+	}
+	return f, nil
+}
+
+// streamDebugz subscribes to the flight recorder and relays matching
+// completed records as SSE events or NDJSON lines, flushing each so the
+// client sees them live. It returns when the client disconnects or the
+// recorder's subscribers are closed (daemon drain).
+func (s *Server) streamDebugz(w http.ResponseWriter, r *http.Request, f telemetry.Filter, sse bool) {
+	ch, cancel := s.flight.Subscribe(64)
+	defer cancel()
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush() // commit headers before the first record arrives
+	}
+	for {
+		select {
+		case rec, ok := <-ch:
+			if !ok {
+				return // drain closed the stream
+			}
+			if !f.Match(&rec) {
+				continue
+			}
+			b, err := json.Marshal(&rec)
+			if err != nil {
+				continue
+			}
+			if sse {
+				fmt.Fprintf(w, "event: job\ndata: %s\n\n", b)
+			} else {
+				w.Write(b)
+				w.Write([]byte("\n"))
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -54,6 +54,9 @@ type CompileRequest struct {
 
 // CompileResponse is the JSON body of a successful compile.
 type CompileResponse struct {
+	// TraceID echoes the request's X-Ataqc-Trace-Id header so the ID
+	// survives clients that drop response headers.
+	TraceID       string  `json:"traceId"`
 	Device        string  `json:"device"`
 	DeviceQubits  int     `json:"deviceQubits"`
 	Qubits        int     `json:"qubits"`
@@ -75,9 +78,12 @@ type CompileResponse struct {
 	QASM      string  `json:"qasm,omitempty"`
 }
 
-// ErrorResponse is the JSON body of every non-2xx answer.
+// ErrorResponse is the JSON body of every non-2xx answer. Like successes
+// it carries the request's trace ID: error paths are exactly where the ID
+// is needed to find the matching log line and flight-recorder entry.
 type ErrorResponse struct {
-	Error apiError `json:"error"`
+	TraceID string   `json:"traceId,omitempty"`
+	Error   apiError `json:"error"`
 }
 
 // Request limits below are admission-control constants: they bound the

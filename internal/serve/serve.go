@@ -12,6 +12,12 @@
 // queue overflow, panic-injected compiles — may kill the daemon or elicit
 // an unstructured answer. Every response is either a compiled circuit or a
 // typed JSON error with a machine-readable code.
+//
+// Every response additionally carries a trace ID (the X-Ataqc-Trace-Id
+// header, echoed in JSON bodies), generated at admission and propagated
+// through the compile via context, so one ID follows a request across
+// logs, compile spans, and the debugz flight recorder (see
+// internal/telemetry).
 package serve
 
 import (
@@ -28,6 +34,7 @@ import (
 
 	ataqc "github.com/ata-pattern/ataqc"
 	"github.com/ata-pattern/ataqc/internal/obs"
+	"github.com/ata-pattern/ataqc/internal/telemetry"
 )
 
 // CompileFunc is the compile entry point the server drives; tests and chaos
@@ -57,11 +64,23 @@ type Config struct {
 	// AllowChaos honors the request Chaos field (panic / sleep injection).
 	// Off by default; the CI chaos job and -chaos bench runs enable it.
 	AllowChaos bool
+	// RecorderSize is the flight-recorder ring capacity: how many
+	// completed compile requests debugz can replay (default 256).
+	RecorderSize int
+	// SLO configures the rolling-window objectives surfaced in statz and
+	// readyz warnings; zero fields take the telemetry defaults.
+	SLO telemetry.SLOConfig
+	// TraceSeed seeds trace-ID generation (0 = crypto-random); tests pin
+	// it for reproducible IDs.
+	TraceSeed int64
+	// Clock drives the flight recorder and SLO tracker (default
+	// obs.SystemClock); tests inject a fake to step time deterministically.
+	Clock obs.Clock
 	// Compile overrides the compile entry point (default
 	// ataqc.CompileContext).
 	Compile CompileFunc
 	// Logf, when non-nil, receives one line per notable event (shed,
-	// panic, drain).
+	// panic, drain). Lines about a specific request carry its trace ID.
 	Logf func(format string, args ...any)
 }
 
@@ -84,6 +103,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxQubits <= 0 {
 		c.MaxQubits = DefaultMaxQubits
 	}
+	if c.RecorderSize <= 0 {
+		c.RecorderSize = 256
+	}
+	if c.Clock == nil {
+		c.Clock = obs.SystemClock
+	}
 	if c.Compile == nil {
 		c.Compile = ataqc.CompileContext
 	}
@@ -103,6 +128,9 @@ type Server struct {
 	inflight sync.WaitGroup
 	draining atomic.Bool
 	met      *obs.Registry
+	ids      *telemetry.IDSource
+	flight   *telemetry.FlightRecorder
+	slo      *telemetry.Tracker
 	mux      *http.ServeMux
 }
 
@@ -114,22 +142,33 @@ func New(cfg Config) *Server {
 		policy: pressurePolicy{queueDepth: cfg.Workers + cfg.QueueDepth, ceiling: cfg.RequestTimeout},
 		slots:  make(chan struct{}, cfg.Workers),
 		met:    obs.NewRegistry(),
+		ids:    telemetry.NewIDSource(cfg.TraceSeed),
+		flight: telemetry.NewFlightRecorder(cfg.RecorderSize, cfg.Clock),
+		slo:    telemetry.NewTracker(cfg.SLO, cfg.Clock),
 		mux:    http.NewServeMux(),
 	}
-	s.mux.HandleFunc("/compile", s.guard(s.handleCompile))
-	s.mux.HandleFunc("/healthz", s.guard(s.handleHealthz))
-	s.mux.HandleFunc("/readyz", s.guard(s.handleReadyz))
-	s.mux.HandleFunc("/statz", s.guard(s.handleStatz))
+	s.mux.HandleFunc("/compile", s.guard("compile", true, s.handleCompile))
+	s.mux.HandleFunc("/healthz", s.guard("healthz", false, s.handleHealthz))
+	s.mux.HandleFunc("/readyz", s.guard("readyz", false, s.handleReadyz))
+	s.mux.HandleFunc("/statz", s.guard("statz", false, s.handleStatz))
+	s.mux.HandleFunc("/metricsz", s.guard("metricsz", false, s.handleMetricsz))
+	s.mux.HandleFunc("/debugz", s.guard("debugz", false, s.handleDebugz))
 	return s
 }
 
 // Handler returns the HTTP surface: POST /compile, GET /healthz, /readyz,
-// /statz.
+// /statz, /metricsz, /debugz.
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Metrics exposes the server's registry (latency histograms, shed/degrade
-// counters, queue gauge) for benches and tests.
+// counters, queue gauge, per-endpoint request series) for benches and tests.
 func (s *Server) Metrics() *obs.Registry { return s.met }
+
+// Flight exposes the flight recorder (debugz backing store) for tests.
+func (s *Server) Flight() *telemetry.FlightRecorder { return s.flight }
+
+// SLO exposes the objective tracker for tests.
+func (s *Server) SLO() *telemetry.Tracker { return s.slo }
 
 // Queued reports the admitted requests currently waiting or running.
 func (s *Server) Queued() int64 { return s.queued.Load() }
@@ -141,11 +180,12 @@ func (s *Server) Capacity() int { return s.cfg.Workers + s.cfg.QueueDepth }
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Shutdown stops admitting work and waits for in-flight jobs to drain,
-// bounded by the earlier of ctx and the configured DrainTimeout. It returns
-// nil when the queue drained and an error naming the stragglers' count when
-// the deadline won.
+// bounded by the earlier of ctx and the configured DrainTimeout. Live
+// debugz streams are ended either way. It returns nil when the queue
+// drained and an error naming the stragglers' count when the deadline won.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	defer s.flight.CloseSubscribers()
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.DrainTimeout)
 	defer cancel()
 	done := make(chan struct{})
@@ -164,24 +204,63 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// guard is the per-request panic boundary: a panic anywhere in a handler is
-// converted into a structured 500 (when the response has not started) and
-// the daemon keeps serving. This is the outermost isolation layer; the
-// compiler has its own recover at core.CompileContext, so this one catches
-// handler bugs and injected chaos panics.
-func (s *Server) guard(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+// guard is the per-request telemetry and panic boundary, in that order of
+// registration so the deferred pieces unwind correctly: it mints the trace
+// ID and sets the response header before the handler can write, opens a
+// flight-recorder job for tracked endpoints, and converts a handler panic
+// into a structured 500 (when the response has not started) so the daemon
+// keeps serving. Because deferred functions run last-registered-first, the
+// finish/metrics defer is registered before the recover defer: a panic is
+// recovered (writing the 500) first, and only then does the job commit —
+// so even a panicking request lands a complete flight-recorder entry with
+// its final status, never a half-written slot. This is the outermost
+// isolation layer; the compiler has its own recover at core.CompileContext,
+// so this one catches handler bugs and injected chaos panics.
+func (s *Server) guard(endpoint string, track bool, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		id := s.ids.New()
 		tw := &trackingWriter{ResponseWriter: w}
+		tw.Header().Set(telemetry.TraceHeader, string(id))
+		r = r.WithContext(telemetry.WithTraceID(r.Context(), id))
+
+		var job *telemetry.Job
+		if track {
+			job = s.flight.Begin(id, endpoint)
+			r = r.WithContext(telemetry.WithJob(r.Context(), job))
+		}
+		start := time.Now()
+		defer func() {
+			status := tw.status
+			if status == 0 {
+				status = http.StatusOK // handler returned without writing
+			}
+			elapsed := time.Since(start)
+			s.met.Counter(obs.Labeled("serve.http.requests",
+				obs.Label{Key: "endpoint", Value: endpoint},
+				obs.Label{Key: "status", Value: fmt.Sprint(status)})).Add(1)
+			s.met.Histogram(obs.Labeled("serve.http.latency_us",
+				obs.Label{Key: "endpoint", Value: endpoint})).Observe(elapsed.Microseconds())
+			if track {
+				s.slo.Record(status, elapsed, job.Degraded())
+				job.Finish(status, outcomeOf(status))
+			}
+		}()
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.met.Counter("serve.panics").Add(1)
-				s.cfg.Logf("serve: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				s.cfg.Logf("serve: panic serving %s %s trace=%s: %v\n%s",
+					r.Method, r.URL.Path, id, rec, debug.Stack())
+				job.SetErrCode(string(CodeInternal))
 				if !tw.wrote {
 					writeError(tw, &apiError{
 						Status:  http.StatusInternalServerError,
 						Code:    CodeInternal,
 						Message: fmt.Sprintf("panic: %v", rec),
 					})
+				} else if tw.status == 0 {
+					// Body bytes went out without an explicit status: the
+					// implicit 200 already reached the wire, record it.
+					tw.status = http.StatusOK
 				}
 			}
 		}()
@@ -189,24 +268,54 @@ func (s *Server) guard(h func(http.ResponseWriter, *http.Request)) http.HandlerF
 	}
 }
 
-// trackingWriter records whether the response has started, so the panic
-// guard knows if a structured error can still be written.
+// outcomeOf names the flight-recorder outcome class for a final status.
+func outcomeOf(status int) string {
+	switch {
+	case status >= 200 && status < 300:
+		return "ok"
+	case status == http.StatusTooManyRequests:
+		return "shed"
+	case status >= 500:
+		return "error"
+	default:
+		return "rejected"
+	}
+}
+
+// trackingWriter records whether the response has started and with which
+// status, so the panic guard knows if a structured error can still be
+// written and the telemetry defer knows what went on the wire. It forwards
+// Flush so debugz streams work through the guard.
 type trackingWriter struct {
 	http.ResponseWriter
-	wrote bool
+	wrote  bool
+	status int
 }
 
 func (t *trackingWriter) WriteHeader(code int) {
+	if !t.wrote {
+		t.status = code
+	}
 	t.wrote = true
 	t.ResponseWriter.WriteHeader(code)
 }
 
 func (t *trackingWriter) Write(b []byte) (int, error) {
+	if !t.wrote {
+		t.status = http.StatusOK
+	}
 	t.wrote = true
 	return t.ResponseWriter.Write(b)
 }
 
+func (t *trackingWriter) Flush() {
+	if f, ok := t.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	job := telemetry.JobFrom(r.Context())
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeError(w, &apiError{Status: http.StatusMethodNotAllowed, Code: CodeInvalidRequest,
@@ -226,17 +335,17 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	req, dev, prob, opts, err := parseRequest(r.Body, s.cfg.MaxQubits)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	var chaosSleep time.Duration
 	if req.Chaos != "" {
 		if !s.cfg.AllowChaos {
-			s.fail(w, errInvalid("chaos directives are disabled on this daemon"))
+			s.fail(w, r, errInvalid("chaos directives are disabled on this daemon"))
 			return
 		}
 		if chaosSleep, err = parseChaos(req.Chaos); err != nil {
-			s.fail(w, err)
+			s.fail(w, r, err)
 			return
 		}
 	}
@@ -265,11 +374,13 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.slots <- struct{}{}:
 	case <-ctx.Done():
-		s.fail(w, ctx.Err()) // client gave up while queued
+		s.fail(w, r, ctx.Err()) // client gave up while queued
 		return
 	}
 	defer func() { <-s.slots }()
-	s.met.Histogram("serve.queue_wait_us").Observe(time.Since(enq).Microseconds())
+	wait := time.Since(enq)
+	s.met.Histogram("serve.queue_wait_us").Observe(wait.Microseconds())
+	job.SetQueueWait(wait)
 
 	// Chaos injection (only with AllowChaos): a panicking compile must be
 	// answered structurally, a sleeping one holds the worker slot so tests
@@ -281,7 +392,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-time.After(chaosSleep):
 		case <-ctx.Done():
-			s.fail(w, ctx.Err())
+			s.fail(w, r, ctx.Err())
 			return
 		}
 	}
@@ -292,6 +403,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	deadline, maxNodes := s.policy.budgets(level, opts.Deadline, opts.MaxNodes)
 	opts.Deadline, opts.MaxNodes = deadline, maxNodes
 	s.met.Counter(fmt.Sprintf("serve.pressure.%d", level)).Add(1)
+	job.SetPressure(level)
 
 	cctx, cancel := context.WithTimeout(ctx, deadline+time.Second) // the compiler's own ladder fires first
 	defer cancel()
@@ -299,13 +411,16 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	res, err := s.cfg.Compile(cctx, dev, prob, opts)
 	elapsed := time.Since(start)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	s.met.Counter("serve.ok").Add(1)
 	s.met.Histogram("serve.latency_us").Observe(elapsed.Microseconds())
+	tl := res.Timeline()
+	job.SetTimeline(phasesOf(tl), tl.Winner)
 
 	resp := &CompileResponse{
+		TraceID:      string(telemetry.TraceIDFrom(ctx)),
 		Device:       dev.Name(),
 		DeviceQubits: dev.Qubits(),
 		Qubits:       prob.Qubits(),
@@ -327,16 +442,30 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		d := res.DegradeDetail()
 		resp.Degraded = true
 		resp.DegradeBudget, resp.DegradeRung = d.Budget, d.Rung
+		job.SetDegraded(d.Budget, d.Rung)
 	}
 	if req.IncludeQASM {
 		var sb strings.Builder
 		if err := res.WriteQASM(&sb); err != nil {
-			s.fail(w, fmt.Errorf("serve: QASM serialization failed: %w", err))
+			s.fail(w, r, fmt.Errorf("serve: QASM serialization failed: %w", err))
 			return
 		}
 		resp.QASM = sb.String()
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// phasesOf converts the compiler's phase breakdown into the flight
+// recorder's millisecond form.
+func phasesOf(tl ataqc.Timeline) []telemetry.PhaseMs {
+	if len(tl.Phases) == 0 {
+		return nil
+	}
+	out := make([]telemetry.PhaseMs, len(tl.Phases))
+	for i, p := range tl.Phases {
+		out[i] = telemetry.PhaseMs{Name: p.Name, Ms: float64(p.Duration.Microseconds()) / 1e3}
+	}
+	return out
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -347,10 +476,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	// Readiness: admitting new work. Draining flips it so load balancers
-	// stop routing before the listener closes.
+	// stop routing before the listener closes. SLO budget burn does NOT
+	// flip readiness — a burning daemon still serves — but it annotates
+	// the body so operators and probes can see trouble coming.
 	body := map[string]any{
 		"queued":   s.queued.Load(),
 		"capacity": s.Capacity(),
+	}
+	if warns := s.slo.Warnings(); len(warns) > 0 {
+		body["warnings"] = warns
 	}
 	if s.draining.Load() {
 		body["status"] = "draining"
@@ -367,22 +501,39 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		"counters":   snap.Counters,
 		"gauges":     snap.Gauges,
 		"histograms": snap.Histograms,
+		"slo":        s.slo.Snapshot(),
+		"flight":     s.flight.Stats(),
 	})
 }
 
+// handleMetricsz renders the registry in Prometheus text exposition
+// format 0.0.4: every counter, gauge (with its _max high-water twin), and
+// log-bucket histogram, with labeled series grouped under one family.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = telemetry.WriteProm(w, s.met.Snapshot())
+}
+
 // fail classifies err and writes the structured error, bumping the
-// per-code counter.
-func (s *Server) fail(w http.ResponseWriter, err error) {
+// per-code counter and stamping the flight-recorder job.
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
 	ae := classify(err)
 	s.met.Counter("serve.errors." + string(ae.Code)).Add(1)
+	telemetry.JobFrom(r.Context()).SetErrCode(string(ae.Code))
 	if ae.Status == http.StatusTooManyRequests || ae.Status >= 500 {
-		s.cfg.Logf("serve: %s", ae.Error())
+		s.cfg.Logf("serve: trace=%s %s", telemetry.TraceIDFrom(r.Context()), ae.Error())
 	}
 	writeError(w, ae)
 }
 
 func writeError(w http.ResponseWriter, ae *apiError) {
-	writeJSON(w, ae.Status, &ErrorResponse{Error: *ae})
+	// The guard set the trace header before the handler ran; echo it in
+	// the body so clients that lost the headers still have the ID.
+	writeJSON(w, ae.Status, &ErrorResponse{
+		TraceID: w.Header().Get(telemetry.TraceHeader),
+		Error:   *ae,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {

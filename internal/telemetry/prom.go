@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/ata-pattern/ataqc/internal/obs"
+)
+
+// WriteProm renders an obs metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4): one # TYPE header per metric
+// family, counters and gauges as single samples, gauges additionally as
+// a <name>_max high-water family, and the log-bucket histograms as
+// cumulative _bucket{le="..."} series with _sum and _count. Metric names
+// are sanitised to the Prometheus charset (dots become underscores), and
+// labeled series produced with obs.Labeled regroup under one family so
+// all samples of a family are emitted consecutively, as the format
+// requires. An empty snapshot renders zero bytes, which is a valid
+// exposition.
+func WriteProm(w io.Writer, m obs.MetricsSnapshot) error {
+	var fams families
+	for _, name := range m.CounterNames() {
+		base, labels := splitProm(name)
+		fams.add(base, "counter", sampleLine(base, labels, "", float64(m.Counters[name])))
+	}
+	for _, name := range m.GaugeNames() {
+		g := m.Gauges[name]
+		base, labels := splitProm(name)
+		fams.add(base, "gauge", sampleLine(base, labels, "", float64(g.Value)))
+		fams.add(base+"_max", "gauge", sampleLine(base+"_max", labels, "", float64(g.Max)))
+	}
+	for _, name := range m.HistogramNames() {
+		h := m.Histograms[name]
+		base, labels := splitProm(name)
+		var lines []string
+		var cum int64
+		for _, b := range h.Buckets {
+			if b.Upper < 0 {
+				// The overflow bucket folds into +Inf below.
+				continue
+			}
+			cum += b.Count
+			lines = append(lines, sampleLine(base+"_bucket", labels, fmt.Sprintf("%d", b.Upper), float64(cum)))
+		}
+		lines = append(lines,
+			sampleLine(base+"_bucket", labels, "+Inf", float64(h.Count)),
+			sampleLine(base+"_sum", labels, "", float64(h.Sum)),
+			sampleLine(base+"_count", labels, "", float64(h.Count)))
+		fams.add(base, "histogram", lines...)
+	}
+	return fams.write(w)
+}
+
+// families accumulates exposition lines grouped by family base name, so
+// labeled series of one family land under a single # TYPE header even
+// when the registry's sorted name order interleaves other bases.
+type families struct {
+	order []string
+	byKey map[string]*family
+}
+
+type family struct {
+	kind  string
+	lines []string
+}
+
+func (f *families) add(base, kind string, lines ...string) {
+	if f.byKey == nil {
+		f.byKey = map[string]*family{}
+	}
+	fam, ok := f.byKey[base]
+	if !ok {
+		fam = &family{kind: kind}
+		f.byKey[base] = fam
+		f.order = append(f.order, base)
+	}
+	fam.lines = append(fam.lines, lines...)
+}
+
+func (f *families) write(w io.Writer) error {
+	order := append([]string(nil), f.order...)
+	sort.Strings(order)
+	for _, base := range order {
+		fam := f.byKey[base]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, fam.kind); err != nil {
+			return err
+		}
+		for _, line := range fam.lines {
+			if _, err := io.WriteString(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sampleLine renders one exposition line; le, when non-empty, is
+// appended as the histogram bucket boundary label.
+func sampleLine(name string, labels []obs.Label, le string, v float64) string {
+	var b strings.Builder
+	b.WriteString(name)
+	if len(labels) > 0 || le != "" {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, `%s="%s"`, sanitizeProm(l.Key), escapePromValue(l.Value))
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, `le="%s"`, le)
+		}
+		b.WriteByte('}')
+	}
+	fmt.Fprintf(&b, " %s\n", formatPromValue(v))
+	return b.String()
+}
+
+// splitProm separates a registry name into its sanitised Prometheus base
+// name and parsed labels.
+func splitProm(name string) (string, []obs.Label) {
+	base, labels := obs.SplitLabeled(name)
+	return sanitizeProm(base), labels
+}
+
+// sanitizeProm maps a registry name onto the Prometheus metric-name
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*; the registry's dotted names become
+// underscore-separated.
+func sanitizeProm(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+func escapePromValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatPromValue renders integers without an exponent and everything
+// else in Go's shortest float form, both of which Prometheus parses.
+func formatPromValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,222 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/ata-pattern/ataqc/internal/obs"
+)
+
+// promLine matches one Prometheus text-exposition sample line:
+// name{labels} value. CheckPromText below applies it to every non-TYPE
+// line; the CI service-smoke job greps with an equivalent pattern.
+var promLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[-+]?[0-9.eE+-]+|[-+]?Inf)$`)
+
+var promType = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$`)
+
+// checkPromText validates an exposition: every line is a TYPE header or
+// a well-formed sample, every sample's family has a preceding TYPE
+// header, and all samples of one family are consecutive.
+func checkPromText(t *testing.T, text string) {
+	t.Helper()
+	typed := map[string]bool{}
+	done := map[string]bool{}
+	var current string
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			if !promType.MatchString(line) {
+				t.Errorf("bad TYPE line: %q", line)
+				continue
+			}
+			fam := strings.Fields(line)[2]
+			if typed[fam] {
+				t.Errorf("family %s declared twice", fam)
+			}
+			typed[fam] = true
+			if current != "" {
+				done[current] = true
+			}
+			current = fam
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("bad sample line: %q", line)
+			continue
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		fam := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if !typed[fam] && !typed[name] {
+			t.Errorf("sample %q precedes its TYPE header", line)
+		}
+		if done[fam] && fam != current {
+			t.Errorf("sample %q reopens family %s after it ended", line, fam)
+		}
+	}
+}
+
+func TestPromEmptyRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, obs.NewRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	// Zero bytes is a valid exposition for an empty registry; the point
+	// is that the renderer neither errors nor emits garbage.
+	if buf.Len() != 0 {
+		t.Fatalf("empty registry rendered %q", buf.String())
+	}
+	checkPromText(t, buf.String())
+}
+
+func TestPromCountersGaugesHistograms(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("serve.ok").Add(7)
+	reg.Gauge("serve.queue").Set(3)
+	reg.Gauge("serve.queue").Set(2) // max stays 3
+	h := reg.Histogram("serve.latency_us")
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(900)
+
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	checkPromText(t, text)
+	for _, want := range []string{
+		"# TYPE serve_ok counter\nserve_ok 7\n",
+		"# TYPE serve_queue gauge\nserve_queue 2\n",
+		"# TYPE serve_queue_max gauge\nserve_queue_max 3\n",
+		"# TYPE serve_latency_us histogram\n",
+		`serve_latency_us_bucket{le="1"} 1` + "\n",
+		`serve_latency_us_bucket{le="3"} 2` + "\n",
+		`serve_latency_us_bucket{le="1023"} 3` + "\n",
+		`serve_latency_us_bucket{le="+Inf"} 3` + "\n",
+		"serve_latency_us_sum 904\n",
+		"serve_latency_us_count 3\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestPromLabeledSeriesGroupUnderOneFamily(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter(obs.Labeled("serve.http.requests",
+		obs.Label{Key: "endpoint", Value: "compile"}, obs.Label{Key: "status", Value: "200"})).Add(5)
+	reg.Counter(obs.Labeled("serve.http.requests",
+		obs.Label{Key: "endpoint", Value: "compile"}, obs.Label{Key: "status", Value: "429"})).Add(2)
+	reg.Counter(obs.Labeled("serve.http.requests",
+		obs.Label{Key: "endpoint", Value: "statz"}, obs.Label{Key: "status", Value: "200"})).Add(1)
+	reg.Histogram(obs.Labeled("serve.http.latency_us",
+		obs.Label{Key: "endpoint", Value: "compile"})).Observe(10)
+
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	checkPromText(t, text)
+	if got := strings.Count(text, "# TYPE serve_http_requests counter"); got != 1 {
+		t.Errorf("family header appears %d times:\n%s", got, text)
+	}
+	for _, want := range []string{
+		`serve_http_requests{endpoint="compile",status="200"} 5`,
+		`serve_http_requests{endpoint="compile",status="429"} 2`,
+		`serve_http_requests{endpoint="statz",status="200"} 1`,
+		`serve_http_latency_us_bucket{endpoint="compile",le="+Inf"} 1`,
+		`serve_http_latency_us_count{endpoint="compile"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestPromOverflowOnlyHistogram renders a histogram whose every
+// observation landed in the unbounded overflow bucket: the exposition
+// must still be monotone cumulative with a single +Inf bucket.
+func TestPromOverflowOnlyHistogram(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("tail_us")
+	huge := int64(1) << 62
+	h.Observe(huge)
+	h.Observe(math.MaxInt64)
+
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	checkPromText(t, text)
+	if strings.Count(text, "tail_us_bucket") != 1 {
+		t.Errorf("want exactly the +Inf bucket, got:\n%s", text)
+	}
+	if !strings.Contains(text, `tail_us_bucket{le="+Inf"} 2`) {
+		t.Errorf("missing +Inf bucket with count 2 in:\n%s", text)
+	}
+	if !strings.Contains(text, "tail_us_count 2\n") {
+		t.Errorf("missing count in:\n%s", text)
+	}
+	// The sum of two huge observations overflows int64; the exposition
+	// must still carry a parseable number (the wrapped sum), not panic.
+	if !strings.Contains(text, "tail_us_sum ") {
+		t.Errorf("missing sum in:\n%s", text)
+	}
+}
+
+func TestPromNameSanitisation(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("serve.errors.invalid-request").Add(1)
+	reg.Counter("9starts.with.digit").Add(1)
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	checkPromText(t, text)
+	if !strings.Contains(text, "serve_errors_invalid_request 1") {
+		t.Errorf("dots/dashes not sanitised:\n%s", text)
+	}
+	if !strings.Contains(text, "_9starts_with_digit 1") {
+		t.Errorf("leading digit not sanitised:\n%s", text)
+	}
+}
+
+func TestFormatPromValue(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"}, {7, "7"}, {-3, "-3"}, {2.5, "2.5"}, {1e9, "1000000000"},
+	}
+	for _, c := range cases {
+		if got := formatPromValue(c.v); got != c.want {
+			t.Errorf("formatPromValue(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+	if got := formatPromValue(math.Inf(1)); got != "+Inf" {
+		t.Errorf("formatPromValue(+Inf) = %q", got)
+	}
+}
+
+// sampleLine is also used directly by the serve metricsz handler tests;
+// pin its exact shape here.
+func TestSampleLineShape(t *testing.T) {
+	got := sampleLine("m", []obs.Label{{Key: "a", Value: `q"v`}}, "5", 2)
+	want := "m{a=\"q\\\"v\",le=\"5\"} 2\n"
+	if got != want {
+		t.Errorf("sampleLine = %q, want %q", got, want)
+	}
+	if got := sampleLine("m", nil, "", 1.5); got != "m 1.5\n" {
+		t.Errorf("unlabeled sampleLine = %q", got)
+	}
+}

@@ -1,0 +1,413 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ata-pattern/ataqc/internal/obs"
+)
+
+// PhaseMs is one compile-phase duration of a job's Timeline, in
+// milliseconds (the recorder's native JSON unit).
+type PhaseMs struct {
+	Name string  `json:"name"`
+	Ms   float64 `json:"ms"`
+}
+
+// JobRecord is one request's flight-recorder entry. In-flight jobs are
+// reported with InFlight=true and a zero Status; committed entries carry
+// the full outcome. All fields are plain values, so a record is safe to
+// hand out, stream, and marshal after the job is gone.
+type JobRecord struct {
+	// Seq is the recorder-global commit sequence number (1-based); for
+	// in-flight jobs it is the admission sequence instead, so the two
+	// number lines are comparable but distinct until commit.
+	Seq      uint64  `json:"seq"`
+	TraceID  string  `json:"traceId"`
+	Endpoint string  `json:"endpoint"`
+	Start    string  `json:"start"` // RFC3339Nano on the recorder's clock
+	Status   int     `json:"status,omitempty"`
+	Outcome  string  `json:"outcome,omitempty"` // ok, shed, rejected, canceled, error, panic
+	ErrCode  string  `json:"errCode,omitempty"`
+	Degraded bool    `json:"degraded,omitempty"`
+	Budget   string  `json:"degradeBudget,omitempty"`
+	Rung     string  `json:"degradeRung,omitempty"`
+	Pressure int     `json:"pressure"`
+	QueueMs  float64 `json:"queueWaitMs"`
+	// ElapsedMs is the whole request's wall time on the recorder's clock;
+	// the phase durations below are subsets of it, so their sum never
+	// exceeds it on a monotonic clock.
+	ElapsedMs float64   `json:"elapsedMs"`
+	Phases    []PhaseMs `json:"phases,omitempty"`
+	Winner    string    `json:"winner,omitempty"`
+	InFlight  bool      `json:"inFlight,omitempty"`
+}
+
+// Job is the handle a request holds while running: the handler annotates
+// it (pressure, queue wait, Timeline, degrade detail) and Finish commits
+// it to the ring. A job is private until Finish, so a panic mid-request
+// can never leave a half-written slot in the recorder — the recovery
+// path just finishes the job with status 500 and whatever annotations
+// landed before the panic. Finish is idempotent: the first call wins.
+// All methods are nil-safe.
+type Job struct {
+	fr    *FlightRecorder
+	start time.Time
+
+	mu   sync.Mutex
+	rec  JobRecord
+	done bool
+}
+
+// SetPressure records the admission-control level the job compiled under.
+func (j *Job) SetPressure(level int) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.rec.Pressure = level
+	j.mu.Unlock()
+}
+
+// SetQueueWait records how long the job waited for a worker slot.
+func (j *Job) SetQueueWait(d time.Duration) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.rec.QueueMs = ms(d)
+	j.mu.Unlock()
+}
+
+// SetTimeline records the compile's phase breakdown and selector winner.
+func (j *Job) SetTimeline(phases []PhaseMs, winner string) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.rec.Phases = phases
+	j.rec.Winner = winner
+	j.mu.Unlock()
+}
+
+// SetDegraded records the degradation breadcrumb.
+func (j *Job) SetDegraded(budget, rung string) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.rec.Degraded = true
+	j.rec.Budget, j.rec.Rung = budget, rung
+	j.mu.Unlock()
+}
+
+// SetErrCode records the machine-readable error code of a failed job.
+func (j *Job) SetErrCode(code string) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.rec.ErrCode = code
+	j.mu.Unlock()
+}
+
+// Degraded reports whether the job degraded (for the SLO tracker).
+func (j *Job) Degraded() bool {
+	if j == nil {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rec.Degraded
+}
+
+// Finish stamps the outcome, computes the elapsed time on the recorder's
+// clock, and commits the record to the ring (publishing it to any live
+// subscribers). Only the first call has any effect.
+func (j *Job) Finish(status int, outcome string) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	if j.done {
+		j.mu.Unlock()
+		return
+	}
+	j.done = true
+	j.rec.Status = status
+	j.rec.Outcome = outcome
+	j.rec.ElapsedMs = ms(j.fr.clock.Now().Sub(j.start))
+	rec := j.rec
+	j.mu.Unlock()
+	j.fr.commit(j, rec)
+}
+
+// snapshotInFlight renders the job as an in-flight record with elapsed
+// time up to now.
+func (j *Job) snapshotInFlight(now time.Time) JobRecord {
+	j.mu.Lock()
+	rec := j.rec
+	j.mu.Unlock()
+	rec.Status = 0
+	rec.InFlight = true
+	rec.ElapsedMs = ms(now.Sub(j.start))
+	return rec
+}
+
+// RecorderStats summarizes the recorder for statz.
+type RecorderStats struct {
+	Size          int    `json:"size"`
+	Committed     uint64 `json:"committed"`
+	InFlight      int    `json:"inFlight"`
+	Subscribers   int    `json:"subscribers"`
+	StreamDropped int64  `json:"streamDropped"`
+}
+
+// FlightRecorder keeps the last N committed request records in a ring
+// buffer plus the set of jobs currently in flight, and fans committed
+// records out to live subscribers (the debugz stream). The ring holds
+// plain values and is touched only under a short mutex at commit and
+// snapshot time — the per-request annotation traffic happens on the Job's
+// own lock, so concurrent requests never contend here until they finish.
+// A nil recorder is the disabled state: Begin returns a nil Job and every
+// query returns empty.
+type FlightRecorder struct {
+	clock obs.Clock
+
+	mu        sync.Mutex
+	ring      []JobRecord
+	committed uint64
+	inflight  map[*Job]struct{}
+	admitted  uint64
+	subs      map[int]chan JobRecord
+	nextSub   int
+	closed    bool
+
+	dropped atomic.Int64
+}
+
+// NewFlightRecorder returns a recorder holding the last size committed
+// records (minimum 1), timed on clock (nil = obs.SystemClock).
+func NewFlightRecorder(size int, clock obs.Clock) *FlightRecorder {
+	if size < 1 {
+		size = 1
+	}
+	if clock == nil {
+		clock = obs.SystemClock
+	}
+	return &FlightRecorder{
+		clock:    clock,
+		ring:     make([]JobRecord, 0, size),
+		inflight: make(map[*Job]struct{}),
+		subs:     make(map[int]chan JobRecord),
+	}
+}
+
+// Begin registers a new in-flight job for the given trace ID and
+// endpoint and returns its handle.
+func (f *FlightRecorder) Begin(id TraceID, endpoint string) *Job {
+	if f == nil {
+		return nil
+	}
+	now := f.clock.Now()
+	j := &Job{fr: f, start: now}
+	f.mu.Lock()
+	f.admitted++
+	j.rec = JobRecord{
+		Seq:      f.admitted,
+		TraceID:  string(id),
+		Endpoint: endpoint,
+		Start:    now.Format(time.RFC3339Nano),
+	}
+	f.inflight[j] = struct{}{}
+	f.mu.Unlock()
+	return j
+}
+
+// commit moves a finished job into the ring (overwriting the oldest
+// entry once full) and publishes it to subscribers without blocking:
+// a subscriber that cannot keep up loses records, counted in Dropped.
+func (f *FlightRecorder) commit(j *Job, rec JobRecord) {
+	f.mu.Lock()
+	delete(f.inflight, j)
+	f.committed++
+	rec.Seq = f.committed
+	if len(f.ring) < cap(f.ring) {
+		f.ring = append(f.ring, rec)
+	} else {
+		f.ring[int((f.committed-1)%uint64(cap(f.ring)))] = rec
+	}
+	subs := make([]chan JobRecord, 0, len(f.subs))
+	//vet:ignore maprange fan-out order does not matter; every subscriber gets the record
+	for _, ch := range f.subs {
+		subs = append(subs, ch)
+	}
+	f.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- rec:
+		default:
+			f.dropped.Add(1)
+		}
+	}
+}
+
+// Filter selects committed records for Recent. The zero value matches
+// everything.
+type Filter struct {
+	// Status matches the exact HTTP status (0 = any).
+	Status int
+	// Degraded, when non-nil, matches records with that degraded flag.
+	Degraded *bool
+	// SlowerThan keeps only records with ElapsedMs >= this many ms.
+	SlowerThanMs float64
+	// Limit caps the result count (0 = recorder size).
+	Limit int
+}
+
+// Match reports whether a record passes the filter's status, degraded,
+// and slowness predicates (Limit is not consulted — it belongs to Recent;
+// the debugz live stream applies Match per record as they commit).
+func (q Filter) Match(r *JobRecord) bool {
+	if q.Status != 0 && r.Status != q.Status {
+		return false
+	}
+	if q.Degraded != nil && r.Degraded != *q.Degraded {
+		return false
+	}
+	if q.SlowerThanMs > 0 && r.ElapsedMs < q.SlowerThanMs {
+		return false
+	}
+	return true
+}
+
+// Recent returns matching committed records, newest first.
+func (f *FlightRecorder) Recent(q Filter) []JobRecord {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	n := len(f.ring)
+	recs := make([]JobRecord, 0, n)
+	for i := 0; i < n; i++ {
+		// Walk backwards from the most recent commit; while the ring is
+		// still filling, commit k landed at index k-1, so the same modular
+		// walk covers both regimes.
+		recs = append(recs, f.ring[int((f.committed-uint64(i)-1)%uint64(cap(f.ring)))])
+	}
+	f.mu.Unlock()
+	limit := q.Limit
+	if limit <= 0 {
+		limit = cap(f.ring)
+	}
+	out := make([]JobRecord, 0, min(limit, len(recs)))
+	for i := range recs {
+		if !q.Match(&recs[i]) {
+			continue
+		}
+		out = append(out, recs[i])
+		if len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// InFlight snapshots the currently running jobs, ordered by admission.
+func (f *FlightRecorder) InFlight() []JobRecord {
+	if f == nil {
+		return nil
+	}
+	now := f.clock.Now()
+	f.mu.Lock()
+	jobs := make([]*Job, 0, len(f.inflight))
+	//vet:ignore maprange collected jobs are sorted by admission sequence below
+	for j := range f.inflight {
+		jobs = append(jobs, j)
+	}
+	f.mu.Unlock()
+	out := make([]JobRecord, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.snapshotInFlight(now))
+	}
+	sortRecords(out)
+	return out
+}
+
+// Subscribe registers a live feed of committed records with the given
+// channel buffer; the returned cancel removes the subscription. After
+// CloseSubscribers (drain), the channel is closed.
+func (f *FlightRecorder) Subscribe(buf int) (<-chan JobRecord, func()) {
+	if f == nil {
+		ch := make(chan JobRecord)
+		close(ch)
+		return ch, func() {}
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan JobRecord, buf)
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	id := f.nextSub
+	f.nextSub++
+	f.subs[id] = ch
+	f.mu.Unlock()
+	return ch, func() {
+		f.mu.Lock()
+		if _, ok := f.subs[id]; ok {
+			delete(f.subs, id)
+			close(ch)
+		}
+		f.mu.Unlock()
+	}
+}
+
+// CloseSubscribers ends every live stream (the daemon calls this at
+// drain so debugz watchers see EOF instead of hanging) and refuses new
+// subscriptions.
+func (f *FlightRecorder) CloseSubscribers() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.closed = true
+	//vet:ignore maprange closing order does not matter; each channel closes once
+	for id, ch := range f.subs {
+		delete(f.subs, id)
+		close(ch)
+	}
+	f.mu.Unlock()
+}
+
+// Stats summarizes the recorder.
+func (f *FlightRecorder) Stats() RecorderStats {
+	if f == nil {
+		return RecorderStats{}
+	}
+	f.mu.Lock()
+	s := RecorderStats{
+		Size:        cap(f.ring),
+		Committed:   f.committed,
+		InFlight:    len(f.inflight),
+		Subscribers: len(f.subs),
+	}
+	f.mu.Unlock()
+	s.StreamDropped = f.dropped.Load()
+	return s
+}
+
+func sortRecords(recs []JobRecord) {
+	for i := 1; i < len(recs); i++ {
+		for j := i; j > 0 && recs[j].Seq < recs[j-1].Seq; j-- {
+			recs[j], recs[j-1] = recs[j-1], recs[j]
+		}
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

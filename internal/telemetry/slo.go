@@ -1,0 +1,216 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/ata-pattern/ataqc/internal/obs"
+)
+
+// SLOConfig declares the service objectives the tracker measures over a
+// rolling window. Zero values take the documented defaults.
+type SLOConfig struct {
+	// Window is the rolling measurement window (default 5m), divided
+	// into Buckets sub-intervals (default 30) that age out one at a
+	// time, so the window slides with Window/Buckets granularity.
+	Window  time.Duration
+	Buckets int
+	// Latency is the latency objective: LatencyTarget of successful
+	// answers must complete within Latency (defaults 1s, 0.99).
+	Latency       time.Duration
+	LatencyTarget float64
+	// ErrorTarget is the availability objective: this fraction of
+	// requests must not end in a 5xx (default 0.999).
+	ErrorTarget float64
+	// DegradeTarget is the quality objective: this fraction of
+	// successful answers must be full-fidelity, not degraded-ladder
+	// compiles (default 0.9).
+	DegradeTarget float64
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.Window <= 0 {
+		c.Window = 5 * time.Minute
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 30
+	}
+	if c.Latency <= 0 {
+		c.Latency = time.Second
+	}
+	if c.LatencyTarget <= 0 || c.LatencyTarget >= 1 {
+		c.LatencyTarget = 0.99
+	}
+	if c.ErrorTarget <= 0 || c.ErrorTarget >= 1 {
+		c.ErrorTarget = 0.999
+	}
+	if c.DegradeTarget <= 0 || c.DegradeTarget >= 1 {
+		c.DegradeTarget = 0.9
+	}
+	return c
+}
+
+// ObjectiveStatus is one objective's rolling-window state. BurnRate is
+// the SRE burn rate: the observed bad fraction divided by the error
+// budget (1 - target). Burn 1.0 spends the budget exactly at the
+// sustainable pace; above 1.0 the budget runs out before the SLO period
+// does, and the objective reports Burning.
+type ObjectiveStatus struct {
+	Name      string  `json:"name"`
+	Target    float64 `json:"target"`
+	Total     int64   `json:"total"`
+	Bad       int64   `json:"bad"`
+	BadRatio  float64 `json:"badRatio"`
+	BurnRate  float64 `json:"burnRate"`
+	Burning   bool    `json:"burning"`
+	Objective string  `json:"objective"`
+}
+
+// SLOSnapshot is the tracker's statz rendering.
+type SLOSnapshot struct {
+	WindowSec  float64           `json:"windowSec"`
+	Objectives []ObjectiveStatus `json:"objectives"`
+}
+
+// sloBucket is one sub-interval of the rolling window.
+type sloBucket struct {
+	num                        uint64 // absolute bucket number; stale buckets are cleared lazily
+	total, ok, slow, errs, deg int64
+}
+
+// Tracker measures latency, availability, and degradation objectives
+// over a rolling window of time-aligned buckets on an injected clock.
+// A nil tracker is the disabled state: Record is a no-op and Snapshot
+// returns an empty snapshot.
+type Tracker struct {
+	cfg   SLOConfig
+	clock obs.Clock
+	gran  time.Duration
+
+	mu      sync.Mutex
+	origin  time.Time
+	buckets []sloBucket
+}
+
+// NewTracker returns a tracker on clock (nil = obs.SystemClock).
+func NewTracker(cfg SLOConfig, clock obs.Clock) *Tracker {
+	cfg = cfg.withDefaults()
+	if clock == nil {
+		clock = obs.SystemClock
+	}
+	return &Tracker{
+		cfg:     cfg,
+		clock:   clock,
+		gran:    cfg.Window / time.Duration(cfg.Buckets),
+		origin:  clock.Now(),
+		buckets: make([]sloBucket, cfg.Buckets),
+	}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (t *Tracker) Config() SLOConfig {
+	if t == nil {
+		return SLOConfig{}
+	}
+	return t.cfg
+}
+
+// Record folds one finished request into the current bucket: its HTTP
+// status, end-to-end latency, and whether the answer was a degraded-
+// ladder compile.
+func (t *Tracker) Record(status int, latency time.Duration, degraded bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	b := t.bucketLocked(t.clock.Now())
+	b.total++
+	if status >= 500 {
+		b.errs++
+	}
+	if status >= 200 && status < 300 {
+		b.ok++
+		if latency > t.cfg.Latency {
+			b.slow++
+		}
+		if degraded {
+			b.deg++
+		}
+	}
+	t.mu.Unlock()
+}
+
+// bucketLocked returns the bucket for now, lazily clearing any slot
+// whose absolute bucket number has aged out of the window.
+func (t *Tracker) bucketLocked(now time.Time) *sloBucket {
+	num := uint64(now.Sub(t.origin)/t.gran) + 1 // +1 so the zero value is always stale
+	b := &t.buckets[num%uint64(len(t.buckets))]
+	if b.num != num {
+		*b = sloBucket{num: num}
+	}
+	return b
+}
+
+// Snapshot sums the live buckets and derives each objective's burn rate.
+func (t *Tracker) Snapshot() SLOSnapshot {
+	if t == nil {
+		return SLOSnapshot{}
+	}
+	t.mu.Lock()
+	now := t.clock.Now()
+	cur := uint64(now.Sub(t.origin)/t.gran) + 1
+	var sum sloBucket
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		// A bucket is live when its absolute number is within the last
+		// len(buckets) intervals ending at the current one.
+		if b.num != 0 && b.num <= cur && cur-b.num < uint64(len(t.buckets)) {
+			sum.total += b.total
+			sum.ok += b.ok
+			sum.slow += b.slow
+			sum.errs += b.errs
+			sum.deg += b.deg
+		}
+	}
+	t.mu.Unlock()
+
+	return SLOSnapshot{
+		WindowSec: t.cfg.Window.Seconds(),
+		Objectives: []ObjectiveStatus{
+			objective("latency", t.cfg.LatencyTarget, sum.ok, sum.slow,
+				fmt.Sprintf("%.0f%% of successful answers within %s", t.cfg.LatencyTarget*100, t.cfg.Latency)),
+			objective("errors", t.cfg.ErrorTarget, sum.total, sum.errs,
+				fmt.Sprintf("%.1f%% of requests answered without a 5xx", t.cfg.ErrorTarget*100)),
+			objective("degradation", t.cfg.DegradeTarget, sum.ok, sum.deg,
+				fmt.Sprintf("%.0f%% of successful answers at full fidelity (no degradation ladder)", t.cfg.DegradeTarget*100)),
+		},
+	}
+}
+
+// Warnings lists the objectives currently burning budget faster than
+// sustainable (burn rate > 1), for the readyz annotation.
+func (t *Tracker) Warnings() []string {
+	if t == nil {
+		return nil
+	}
+	var out []string
+	for _, o := range t.Snapshot().Objectives {
+		if o.Burning {
+			out = append(out, fmt.Sprintf(
+				"slo %s burning: %.1fx sustainable rate (%d/%d bad over the last %s)",
+				o.Name, o.BurnRate, o.Bad, o.Total, t.cfg.Window))
+		}
+	}
+	return out
+}
+
+func objective(name string, target float64, total, bad int64, doc string) ObjectiveStatus {
+	o := ObjectiveStatus{Name: name, Target: target, Total: total, Bad: bad, Objective: doc}
+	if total > 0 {
+		o.BadRatio = float64(bad) / float64(total)
+		o.BurnRate = o.BadRatio / (1 - target)
+		o.Burning = o.BurnRate > 1
+	}
+	return o
+}

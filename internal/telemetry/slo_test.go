@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sloTracker(step time.Duration) (*Tracker, *fakeClock) {
+	clk := newFakeClock(step)
+	return NewTracker(SLOConfig{
+		Window:        time.Minute,
+		Buckets:       6,
+		Latency:       100 * time.Millisecond,
+		LatencyTarget: 0.9,
+		ErrorTarget:   0.99,
+		DegradeTarget: 0.5,
+	}, clk), clk
+}
+
+func find(t *testing.T, snap SLOSnapshot, name string) ObjectiveStatus {
+	t.Helper()
+	for _, o := range snap.Objectives {
+		if o.Name == name {
+			return o
+		}
+	}
+	t.Fatalf("objective %q missing from %+v", name, snap)
+	return ObjectiveStatus{}
+}
+
+func TestSLOBurnRates(t *testing.T) {
+	tr, _ := sloTracker(0)
+	// 100 requests: 80 fast 200s, 15 slow 200s, 5 500s. 40 of the 200s
+	// degraded.
+	for i := 0; i < 80; i++ {
+		tr.Record(200, 10*time.Millisecond, i < 40)
+	}
+	for i := 0; i < 15; i++ {
+		tr.Record(200, 500*time.Millisecond, false)
+	}
+	for i := 0; i < 5; i++ {
+		tr.Record(500, time.Millisecond, false)
+	}
+	snap := tr.Snapshot()
+	if snap.WindowSec != 60 {
+		t.Errorf("WindowSec = %v", snap.WindowSec)
+	}
+
+	lat := find(t, snap, "latency")
+	// 15/95 successful answers were slow; budget is 10% → burn ≈ 1.58.
+	if lat.Total != 95 || lat.Bad != 15 {
+		t.Errorf("latency %+v, want 15/95 bad", lat)
+	}
+	if !lat.Burning || lat.BurnRate < 1.5 || lat.BurnRate > 1.7 {
+		t.Errorf("latency burn %v burning=%v, want ~1.58 burning", lat.BurnRate, lat.Burning)
+	}
+
+	errs := find(t, snap, "errors")
+	// 5/100 errored against a 1% budget → burn 5.
+	if errs.Total != 100 || errs.Bad != 5 || !errs.Burning || errs.BurnRate < 4.9 || errs.BurnRate > 5.1 {
+		t.Errorf("errors %+v, want burn 5", errs)
+	}
+
+	deg := find(t, snap, "degradation")
+	// 40/95 degraded against a 50% budget → burn ≈ 0.84, not burning.
+	if deg.Total != 95 || deg.Bad != 40 || deg.Burning {
+		t.Errorf("degradation %+v, want 40/95 not burning", deg)
+	}
+
+	warns := tr.Warnings()
+	if len(warns) != 2 {
+		t.Fatalf("Warnings = %v, want latency + errors", warns)
+	}
+	for _, w := range warns {
+		if !strings.Contains(w, "burning") {
+			t.Errorf("warning %q lacks 'burning'", w)
+		}
+	}
+}
+
+func TestSLOWindowSlides(t *testing.T) {
+	tr, clk := sloTracker(0)
+	for i := 0; i < 10; i++ {
+		tr.Record(500, time.Millisecond, false)
+	}
+	if errs := find(t, tr.Snapshot(), "errors"); errs.Bad != 10 {
+		t.Fatalf("errors before slide %+v", errs)
+	}
+	// Jump past the whole window: every bucket ages out.
+	clk.advance(2 * time.Minute)
+	snap := tr.Snapshot()
+	if errs := find(t, snap, "errors"); errs.Total != 0 || errs.Bad != 0 || errs.Burning {
+		t.Fatalf("errors after slide %+v, want empty", errs)
+	}
+	if len(tr.Warnings()) != 0 {
+		t.Fatalf("warnings survived the window slide: %v", tr.Warnings())
+	}
+	// Partial slide: half the window later, old half gone.
+	tr.Record(500, time.Millisecond, false)
+	clk.advance(30 * time.Second)
+	tr.Record(200, time.Millisecond, false)
+	errs := find(t, tr.Snapshot(), "errors")
+	if errs.Total != 2 || errs.Bad != 1 {
+		t.Fatalf("errors after partial slide %+v, want 1/2", errs)
+	}
+	clk.advance(45 * time.Second) // first record now out of window, second still in
+	errs = find(t, tr.Snapshot(), "errors")
+	if errs.Total != 1 || errs.Bad != 0 {
+		t.Fatalf("errors after aging %+v, want 0/1", errs)
+	}
+}
+
+func TestSLODefaultsAndNil(t *testing.T) {
+	cfg := SLOConfig{}.withDefaults()
+	if cfg.Window != 5*time.Minute || cfg.Buckets != 30 || cfg.Latency != time.Second {
+		t.Errorf("defaults %+v", cfg)
+	}
+	if cfg.LatencyTarget != 0.99 || cfg.ErrorTarget != 0.999 || cfg.DegradeTarget != 0.9 {
+		t.Errorf("default targets %+v", cfg)
+	}
+	var tr *Tracker
+	tr.Record(200, 0, false)
+	if snap := tr.Snapshot(); len(snap.Objectives) != 0 {
+		t.Errorf("nil tracker snapshot %+v", snap)
+	}
+	if tr.Warnings() != nil {
+		t.Errorf("nil tracker warnings")
+	}
+	if tr.Config() != (SLOConfig{}) {
+		t.Errorf("nil tracker config")
+	}
+}
+
+func TestSLOZeroTrafficIsQuiet(t *testing.T) {
+	tr, _ := sloTracker(0)
+	for _, o := range tr.Snapshot().Objectives {
+		if o.Burning || o.BurnRate != 0 || o.Total != 0 {
+			t.Errorf("idle objective %+v", o)
+		}
+	}
+	if len(tr.Warnings()) != 0 {
+		t.Errorf("idle warnings %v", tr.Warnings())
+	}
+}

@@ -1,0 +1,252 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic obs.Clock: every Now() advances it by
+// step, mirroring the internal/obs test convention.
+type fakeClock struct {
+	mu   sync.Mutex
+	t    time.Time
+	step time.Duration
+}
+
+func newFakeClock(step time.Duration) *fakeClock {
+	return &fakeClock{t: time.Unix(1700000000, 0), step: step}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.t
+	c.t = c.t.Add(c.step)
+	return now
+}
+
+// advance jumps the clock forward without the per-read step.
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestTraceIDValidAndUnique(t *testing.T) {
+	src := NewIDSource(0)
+	seen := map[TraceID]bool{}
+	for i := 0; i < 1000; i++ {
+		id := src.New()
+		if !id.Valid() {
+			t.Fatalf("generated id %q is not valid", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+	for _, bad := range []TraceID{"", "short", "ABCDEF00112233445566778899aabbcc",
+		"zz000000000000000000000000000000", "0123456789abcdef0123456789abcdef0"} {
+		if bad.Valid() {
+			t.Errorf("Valid(%q) = true, want false", bad)
+		}
+	}
+}
+
+func TestTraceIDDeterministicWithSeed(t *testing.T) {
+	a, b := NewIDSource(42), NewIDSource(42)
+	for i := 0; i < 10; i++ {
+		if x, y := a.New(), b.New(); x != y {
+			t.Fatalf("draw %d: %q != %q with equal seeds", i, x, y)
+		}
+	}
+}
+
+func TestTraceIDContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := TraceIDFrom(ctx); got != "" {
+		t.Fatalf("empty context carries id %q", got)
+	}
+	id := NewIDSource(1).New()
+	ctx = WithTraceID(ctx, id)
+	if got := TraceIDFrom(ctx); got != id {
+		t.Fatalf("round trip: got %q, want %q", got, id)
+	}
+	if j := JobFrom(ctx); j != nil {
+		t.Fatalf("empty context carries job %v", j)
+	}
+	job := &Job{}
+	if got := JobFrom(WithJob(ctx, job)); got != job {
+		t.Fatalf("job round trip failed")
+	}
+}
+
+func TestRecorderRingOverwrite(t *testing.T) {
+	clk := newFakeClock(time.Millisecond)
+	fr := NewFlightRecorder(4, clk)
+	for i := 0; i < 10; i++ {
+		j := fr.Begin(TraceID("0123456789abcdef0123456789abcdef"), "compile")
+		j.SetPressure(i)
+		j.Finish(200, "ok")
+	}
+	recent := fr.Recent(Filter{})
+	if len(recent) != 4 {
+		t.Fatalf("Recent returned %d records, want ring size 4", len(recent))
+	}
+	// Newest first: pressures 9, 8, 7, 6 — the first six commits were
+	// overwritten.
+	for i, want := range []int{9, 8, 7, 6} {
+		if recent[i].Pressure != want {
+			t.Errorf("recent[%d].Pressure = %d, want %d", i, recent[i].Pressure, want)
+		}
+	}
+	if s := fr.Stats(); s.Committed != 10 || s.Size != 4 || s.InFlight != 0 {
+		t.Errorf("Stats = %+v, want committed 10, size 4, inflight 0", s)
+	}
+}
+
+func TestRecorderFilters(t *testing.T) {
+	clk := newFakeClock(time.Millisecond)
+	fr := NewFlightRecorder(16, clk)
+	finish := func(status int, degraded bool, slow time.Duration) {
+		j := fr.Begin(TraceID("0123456789abcdef0123456789abcdef"), "compile")
+		if degraded {
+			j.SetDegraded("deadline", "pure-ata")
+		}
+		clk.advance(slow)
+		j.Finish(status, "x")
+	}
+	finish(200, false, 0)
+	finish(200, true, 0)
+	finish(500, false, 0)
+	finish(200, false, 50*time.Millisecond)
+
+	if got := fr.Recent(Filter{Status: 500}); len(got) != 1 || got[0].Status != 500 {
+		t.Fatalf("status filter: %+v", got)
+	}
+	deg := true
+	if got := fr.Recent(Filter{Degraded: &deg}); len(got) != 1 || !got[0].Degraded {
+		t.Fatalf("degraded filter: %+v", got)
+	}
+	if got := fr.Recent(Filter{SlowerThanMs: 40}); len(got) != 1 || got[0].ElapsedMs < 40 {
+		t.Fatalf("slow filter: %+v", got)
+	}
+	if got := fr.Recent(Filter{Limit: 2}); len(got) != 2 {
+		t.Fatalf("limit filter returned %d records", len(got))
+	}
+}
+
+func TestRecorderInFlightAndFinishIdempotent(t *testing.T) {
+	clk := newFakeClock(time.Millisecond)
+	fr := NewFlightRecorder(8, clk)
+	j := fr.Begin(TraceID("0123456789abcdef0123456789abcdef"), "compile")
+	inflight := fr.InFlight()
+	if len(inflight) != 1 || !inflight[0].InFlight || inflight[0].Status != 0 {
+		t.Fatalf("InFlight = %+v, want one running record", inflight)
+	}
+	j.Finish(200, "ok")
+	j.Finish(500, "error") // second finish must not double-commit or rewrite
+	if got := fr.InFlight(); len(got) != 0 {
+		t.Fatalf("InFlight after finish = %+v", got)
+	}
+	recent := fr.Recent(Filter{})
+	if len(recent) != 1 || recent[0].Status != 200 || recent[0].Outcome != "ok" {
+		t.Fatalf("Recent after double finish = %+v", recent)
+	}
+}
+
+func TestRecorderSubscribeStreamAndClose(t *testing.T) {
+	clk := newFakeClock(time.Millisecond)
+	fr := NewFlightRecorder(8, clk)
+	ch, cancel := fr.Subscribe(4)
+	fr.Begin("0123456789abcdef0123456789abcdef", "compile").Finish(200, "ok")
+	select {
+	case rec := <-ch:
+		if rec.Status != 200 {
+			t.Fatalf("streamed record %+v", rec)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no record streamed")
+	}
+	cancel()
+	if _, open := <-ch; open {
+		t.Fatal("channel still open after cancel")
+	}
+
+	// An overflowing subscriber loses records (counted), never blocks.
+	slow, cancel2 := fr.Subscribe(1)
+	defer cancel2()
+	for i := 0; i < 5; i++ {
+		fr.Begin("0123456789abcdef0123456789abcdef", "compile").Finish(200, "ok")
+	}
+	if d := fr.Stats().StreamDropped; d != 4 {
+		t.Fatalf("StreamDropped = %d, want 4", d)
+	}
+	<-slow
+
+	// CloseSubscribers (drain) ends live streams and refuses new ones.
+	live, _ := fr.Subscribe(1)
+	fr.CloseSubscribers()
+	if _, open := <-live; open {
+		t.Fatal("stream survived CloseSubscribers")
+	}
+	dead, _ := fr.Subscribe(1)
+	if _, open := <-dead; open {
+		t.Fatal("Subscribe after close returned a live channel")
+	}
+}
+
+func TestRecorderConcurrentCommits(t *testing.T) {
+	fr := NewFlightRecorder(32, nil) // system clock: exercises the real path under -race
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				j := fr.Begin("0123456789abcdef0123456789abcdef", "compile")
+				j.SetQueueWait(time.Microsecond)
+				j.SetTimeline([]PhaseMs{{Name: "place", Ms: 0.1}}, "hybrid")
+				j.Finish(200, "ok")
+			}
+		}()
+	}
+	wg.Wait()
+	if s := fr.Stats(); s.Committed != 400 || s.InFlight != 0 {
+		t.Fatalf("Stats after concurrent commits = %+v", s)
+	}
+	if got := fr.Recent(Filter{}); len(got) != 32 {
+		t.Fatalf("Recent returned %d, want 32", len(got))
+	}
+}
+
+func TestNilRecorderAndJobAreNoOps(t *testing.T) {
+	var fr *FlightRecorder
+	j := fr.Begin("x", "compile")
+	if j != nil {
+		t.Fatal("nil recorder Begin returned a job")
+	}
+	j.SetPressure(1)
+	j.SetQueueWait(time.Second)
+	j.SetTimeline(nil, "")
+	j.SetDegraded("a", "b")
+	j.SetErrCode("internal")
+	j.Finish(200, "ok")
+	if j.Degraded() {
+		t.Fatal("nil job degraded")
+	}
+	if fr.Recent(Filter{}) != nil || fr.InFlight() != nil {
+		t.Fatal("nil recorder returned records")
+	}
+	if s := fr.Stats(); s != (RecorderStats{}) {
+		t.Fatalf("nil recorder stats %+v", s)
+	}
+	ch, cancel := fr.Subscribe(1)
+	cancel()
+	if _, open := <-ch; open {
+		t.Fatal("nil recorder subscription is live")
+	}
+	fr.CloseSubscribers()
+}

@@ -1,0 +1,111 @@
+// Package telemetry is the request-scoped observability layer of the
+// compile service: per-request trace IDs propagated by context, a
+// flight-recorder ring buffer holding each job's phase Timeline, a
+// Prometheus text-exposition renderer for internal/obs registries, and a
+// rolling-window SLO burn-rate tracker.
+//
+// Like internal/obs underneath it, the package is stdlib-only, nil-safe
+// (a nil *FlightRecorder or *Tracker is the disabled state), and clock-
+// injected: nothing here reads the wall clock directly, so every piece is
+// testable under a synthetic obs.Clock and the ataqc-vet walltime rule
+// holds.
+package telemetry
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"math/rand"
+	"sync"
+)
+
+// TraceHeader is the HTTP header carrying the request's trace ID on every
+// response the daemon writes — success, shed, panic, or parse failure.
+const TraceHeader = "X-Ataqc-Trace-Id"
+
+// TraceID identifies one request end to end: generated at admission,
+// threaded via context into the compiler's root span, echoed in the
+// response header and JSON body, stamped on every structured log line,
+// and keyed into the flight recorder.
+type TraceID string
+
+// Valid reports whether id has the canonical form: exactly 32 lowercase
+// hex characters (16 random bytes).
+func (id TraceID) Valid() bool {
+	if len(id) != 32 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// IDSource mints trace IDs from a seeded PRNG, so a fixed seed yields a
+// reproducible ID stream for tests while NewIDSource(0) seeds from the
+// OS entropy pool for production uniqueness.
+type IDSource struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewIDSource returns a source seeded with seed; seed 0 draws a random
+// seed from crypto/rand (falling back to a fixed constant only if the
+// OS entropy read fails, which keeps the daemon bootable).
+func NewIDSource(seed int64) *IDSource {
+	if seed == 0 {
+		var b [8]byte
+		if _, err := crand.Read(b[:]); err == nil {
+			seed = int64(binary.LittleEndian.Uint64(b[:]) | 1)
+		} else {
+			seed = 0x6174617163 // "ataqc"
+		}
+	}
+	return &IDSource{rng: rand.New(rand.NewSource(seed))}
+}
+
+// New mints the next trace ID. Safe for concurrent use.
+func (s *IDSource) New() TraceID {
+	var b [16]byte
+	s.mu.Lock()
+	binary.LittleEndian.PutUint64(b[:8], s.rng.Uint64())
+	binary.LittleEndian.PutUint64(b[8:], s.rng.Uint64())
+	s.mu.Unlock()
+	return TraceID(hex.EncodeToString(b[:]))
+}
+
+type ctxKey int
+
+const (
+	traceIDKey ctxKey = iota
+	jobKey
+)
+
+// WithTraceID attaches id to the context for downstream propagation
+// (compile spans, log lines, response writers).
+func WithTraceID(ctx context.Context, id TraceID) context.Context {
+	return context.WithValue(ctx, traceIDKey, id)
+}
+
+// TraceIDFrom extracts the request's trace ID ("" when none is set).
+func TraceIDFrom(ctx context.Context) TraceID {
+	id, _ := ctx.Value(traceIDKey).(TraceID)
+	return id
+}
+
+// WithJob attaches the request's flight-recorder job to the context so
+// inner handler layers can annotate it without new plumbing.
+func WithJob(ctx context.Context, j *Job) context.Context {
+	return context.WithValue(ctx, jobKey, j)
+}
+
+// JobFrom extracts the request's flight-recorder job (nil when absent;
+// every Job method is nil-safe).
+func JobFrom(ctx context.Context) *Job {
+	j, _ := ctx.Value(jobKey).(*Job)
+	return j
+}

@@ -88,6 +88,7 @@ var compilePathDirs = map[string]bool{
 	"internal/sim":         true,
 	"internal/solver":      true,
 	"internal/swapnet":     true,
+	"internal/telemetry":   true,
 	"internal/verify":      true,
 	"internal/verify/sema": true,
 }

@@ -83,10 +83,11 @@ func TestScopePredicates(t *testing.T) {
 		{"internal/core", true, true},
 		{"internal/verify/sema", true, true},
 		{"internal/obs", true, true},
-		{"internal/bench", false, true}, // times compilations, emits tables
-		{".", false, true},              // public API renders reports
-		{"cmd/ataqc", false, false},     // CLIs may read the clock
-		{"internal/vet", false, false},  // the analyzers themselves
+		{"internal/telemetry", true, true}, // flight recorder / SLO math runs on injected clocks
+		{"internal/bench", false, true},    // times compilations, emits tables
+		{".", false, true},                 // public API renders reports
+		{"cmd/ataqc", false, false},        // CLIs may read the clock
+		{"internal/vet", false, false},     // the analyzers themselves
 	}
 	for _, c := range cases {
 		if got := isCompilePath(c.dir); got != c.walltime {
