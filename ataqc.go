@@ -258,6 +258,13 @@ type Options struct {
 	// metrics (see NewTrace). Nil disables tracing at ~zero cost and is the
 	// default. Tracing never changes the compiled circuit.
 	Trace *Trace
+	// Cache, when non-nil, consults and feeds a compilation cache (see
+	// OpenCache / MemoryCache) under the hybrid/greedy/ata strategies.
+	// Caching never changes the compiled circuit: a hit is byte-for-byte
+	// the result a fresh compile would produce (isomorphic problems get
+	// the same circuit relabeled for their vertices) and is re-verified
+	// before it is served. Baseline strategies ignore it.
+	Cache *Cache
 }
 
 // Result is a compiled circuit with its measurements.
@@ -270,6 +277,7 @@ type Result struct {
 	metrics       core.Metrics
 	strategy      Strategy
 	angle         float64
+	cacheTier     string
 	degraded      bool
 	degradeReason core.DegradeReason
 	timeline      core.Timeline
@@ -320,7 +328,7 @@ func CompileContext(ctx context.Context, dev *Device, p *Problem, opts Options) 
 		if strategy == StrategyATA {
 			mode = core.ModeATA
 		}
-		r, err := core.CompileContext(ctx, dev.arch, p.g, core.Options{
+		copts := core.Options{
 			Mode:           mode,
 			Noise:          nm,
 			CrosstalkAware: opts.CrosstalkAware,
@@ -330,13 +338,19 @@ func CompileContext(ctx context.Context, dev *Device, p *Problem, opts Options) 
 			MaxNodes:       opts.MaxNodes,
 			Workers:        opts.Workers,
 			Trace:          opts.Trace.inner(),
-		})
+		}
+		var inner *core.Cache
+		if opts.Cache != nil {
+			inner = opts.Cache.inner
+		}
+		r, err := core.CompileCached(ctx, dev.arch, p.g, copts, inner)
 		if err != nil {
 			return nil, err
 		}
 		res.circuit, res.initial, res.final, res.metrics = r.Circuit, r.Initial, r.Final, r.Metrics
 		res.degraded, res.degradeReason = r.Degraded, r.DegradeReason
 		res.timeline = r.Timeline
+		res.cacheTier = r.Stats.CacheTier
 	case Strategy2QAN, StrategyQAIM, StrategyPaulihedral:
 		var (
 			b   *baseline.Result
@@ -372,6 +386,10 @@ func (r *Result) Degraded() bool { return r.degraded }
 // produced the circuit ("" when not degraded). DegradeDetail exposes the
 // same breadcrumb structured.
 func (r *Result) DegradeReason() string { return r.degradeReason.String() }
+
+// CacheTier reports which compilation-cache tier served this result:
+// "mem", "disk", or "" for a fresh (uncached or cache-miss) compile.
+func (r *Result) CacheTier() string { return r.cacheTier }
 
 // Depth returns the compiled circuit's critical-path length after
 // decomposition into CX and single-qubit gates.

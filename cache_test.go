@@ -1,0 +1,115 @@
+package ataqc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPublicCacheRoundTrip drives the whole public cache surface: a cold
+// compile misses and persists, a warm repeat is served from memory with a
+// byte-identical circuit, and a reopened cache (fresh memory tier) serves
+// the same result from disk.
+func TestPublicCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	dev := GridDevice(16)
+	prob := RandomProblem(14, 0.35, 9)
+	opts := Options{Workers: 1}
+
+	ref, err := Compile(dev, prob, opts)
+	if err != nil {
+		t.Fatalf("uncached compile: %v", err)
+	}
+
+	cache, err := OpenCache(dir, 0)
+	if err != nil {
+		t.Fatalf("OpenCache: %v", err)
+	}
+	opts.Cache = cache
+
+	cold, err := Compile(dev, prob, opts)
+	if err != nil {
+		t.Fatalf("cold compile: %v", err)
+	}
+	if tier := cold.CacheTier(); tier != "" {
+		t.Fatalf("cold compile reported cache tier %q", tier)
+	}
+	warm, err := Compile(dev, prob, opts)
+	if err != nil {
+		t.Fatalf("warm compile: %v", err)
+	}
+	if tier := warm.CacheTier(); tier != "mem" {
+		t.Fatalf("warm compile tier = %q, want mem", tier)
+	}
+	assertSameQASM(t, ref, warm, "warm")
+
+	st := cache.Stats()
+	if st.MemHits != 1 || st.Misses != 1 || st.Corrupt != 0 {
+		t.Fatalf("stats after warm hit: %+v", st)
+	}
+	if st.DiskEntries != 1 || st.DiskBytes <= 0 {
+		t.Fatalf("disk tier not populated: %+v", st)
+	}
+	if err := cache.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	reopened, err := OpenCache(dir, 0)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer reopened.Close()
+	opts.Cache = reopened
+	restored, err := Compile(dev, prob, opts)
+	if err != nil {
+		t.Fatalf("post-restart compile: %v", err)
+	}
+	if tier := restored.CacheTier(); tier != "disk" {
+		t.Fatalf("post-restart tier = %q, want disk", tier)
+	}
+	assertSameQASM(t, ref, restored, "post-restart")
+}
+
+// TestMemoryCacheServesRepeats: the disk-less cache still answers repeat
+// compiles from the memory tier, and baseline strategies bypass it.
+func TestMemoryCacheServesRepeats(t *testing.T) {
+	dev := LineDevice(12)
+	prob := RandomProblem(10, 0.4, 4)
+	opts := Options{Workers: 1, Cache: MemoryCache()}
+
+	if _, err := Compile(dev, prob, opts); err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	warm, err := Compile(dev, prob, opts)
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	if tier := warm.CacheTier(); tier != "mem" {
+		t.Fatalf("warm tier = %q, want mem", tier)
+	}
+
+	opts.Strategy = Strategy2QAN
+	base, err := Compile(dev, prob, opts)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	if tier := base.CacheTier(); tier != "" {
+		t.Fatalf("baseline strategy reported cache tier %q", tier)
+	}
+	if st := opts.Cache.Stats(); st.Misses != 1 || st.MemHits != 1 {
+		t.Fatalf("baseline compile touched the result cache: %+v", st)
+	}
+}
+
+func assertSameQASM(t *testing.T, want, got *Result, label string) {
+	t.Helper()
+	var w, g bytes.Buffer
+	if err := want.WriteQASM(&w); err != nil {
+		t.Fatalf("%s: reference QASM: %v", label, err)
+	}
+	if err := got.WriteQASM(&g); err != nil {
+		t.Fatalf("%s: cached QASM: %v", label, err)
+	}
+	if !bytes.Equal(w.Bytes(), g.Bytes()) {
+		t.Fatalf("%s: cached circuit is not byte-identical to the fresh compile", label)
+	}
+}

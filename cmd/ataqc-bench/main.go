@@ -32,7 +32,10 @@ import (
 
 // benchReport is the BENCH_service.json schema (see EXPERIMENTS.md).
 type benchReport struct {
-	URL      string            `json:"url"`
+	URL string `json:"url"`
+	// Workload names the spec file's workload when -workload drove the
+	// run; absent for flag-driven sweeps.
+	Workload string            `json:"workload,omitempty"`
 	Seed     int64             `json:"seed"`
 	Levels   []*loadgen.Report `json:"levels"`
 	DaemonOK bool              `json:"daemonOk"`
@@ -63,41 +66,58 @@ func main() {
 		out      = flag.String("out", "", "write the JSON report here ('' = stdout)")
 		maxP99   = flag.Float64("max-p99-ms", 0, "fail when any level's p99 exceeds this many ms (0 = no gate)")
 		scrape   = flag.Duration("scrape-interval", 0, "scrape the daemon's metricsz at this interval during the run and embed the final scrape in the report (0 = off)")
+		workload = flag.String("workload", "", "YAML workload spec (see examples/workloads/); its levels and problem mix replace -rps/-clients/-duration/-chaos-fraction/-seed")
 	)
 	flag.Parse()
-	if err := run(*url, *rpsList, *clients, *duration, *chaos, *seed, *out, *maxP99, *scrape); err != nil {
+	if err := run(*url, *rpsList, *clients, *duration, *chaos, *seed, *out, *maxP99, *scrape, *workload); err != nil {
 		fmt.Fprintf(os.Stderr, "ataqc-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(url, rpsList string, clients int, duration time.Duration, chaos float64, seed int64, out string, maxP99 float64, scrapeEvery time.Duration) error {
-	rates, err := parseRates(rpsList)
-	if err != nil {
-		return err
+func run(url, rpsList string, clients int, duration time.Duration, chaos float64, seed int64, out string, maxP99 float64, scrapeEvery time.Duration, workload string) error {
+	rep := &benchReport{URL: url, Seed: seed}
+	var levels []loadgen.Config
+	if workload != "" {
+		spec, err := loadgen.LoadWorkload(workload)
+		if err != nil {
+			return err
+		}
+		if levels, err = spec.Configs(url); err != nil {
+			return err
+		}
+		rep.Workload = spec.Name
+		rep.Seed = spec.Seed
+	} else {
+		rates, err := parseRates(rpsList)
+		if err != nil {
+			return err
+		}
+		for i, rps := range rates {
+			levels = append(levels, loadgen.Config{
+				URL:           url,
+				Clients:       clients,
+				RPS:           rps,
+				Duration:      duration,
+				ChaosFraction: chaos,
+				Seed:          seed + int64(i)*104729,
+			})
+		}
 	}
 	if err := ping(url); err != nil {
 		return fmt.Errorf("daemon not reachable before the run: %w", err)
 	}
 
-	rep := &benchReport{URL: url, Seed: seed}
 	var sc *scraper
 	if scrapeEvery > 0 {
 		sc = startScraper(url, scrapeEvery)
 	}
-	for i, rps := range rates {
+	for i, cfg := range levels {
 		fmt.Fprintf(os.Stderr, "ataqc-bench: level %d/%d rps=%g clients=%d duration=%s chaos=%g\n",
-			i+1, len(rates), rps, clients, duration, chaos)
-		lvl, err := loadgen.Run(context.Background(), loadgen.Config{
-			URL:           url,
-			Clients:       clients,
-			RPS:           rps,
-			Duration:      duration,
-			ChaosFraction: chaos,
-			Seed:          seed + int64(i)*104729,
-		})
+			i+1, len(levels), cfg.RPS, cfg.Clients, cfg.Duration, cfg.ChaosFraction)
+		lvl, err := loadgen.Run(context.Background(), cfg)
 		if err != nil {
-			return fmt.Errorf("level rps=%g: %w", rps, err)
+			return fmt.Errorf("level rps=%g: %w", cfg.RPS, err)
 		}
 		rep.Levels = append(rep.Levels, lvl)
 		fmt.Fprintf(os.Stderr, "ataqc-bench:   sent=%d ok=%d degraded=%d shed=%d retries=%d p50=%.1fms p99=%.1fms chaos=%d/%d\n",

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/cachestore"
+	"github.com/ata-pattern/ataqc/internal/core"
+	"github.com/ata-pattern/ataqc/internal/graph"
+)
+
+// TestWarmSweepPopulatesCache runs the sweeper end to end against a
+// temporary cache directory and proves a fresh daemon-side cache
+// actually benefits: pattern records preload, and the precompiled
+// workload problem is answered from the disk tier.
+func TestWarmSweepPopulatesCache(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 0, "line,grid", "9,12", 4, 0, "../../examples/workloads/repeat-heavy.yaml"); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	store, err := cachestore.Open(dir, 0)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	cache := core.NewCache(cachestore.NewTiered(store, 0))
+	defer cache.Close()
+
+	a := arch.GridN(9)
+	if n := cache.PreloadPatterns(a); n == 0 {
+		t.Fatalf("no pattern records preloaded for %s", a.Name)
+	}
+	if got := len(store.Keys(cachestore.KindSolver, arch.Line(3).Fingerprint())); got != 1 {
+		t.Fatalf("solver records for line-3 = %d, want 1", got)
+	}
+
+	// The repeat-heavy spec's hot problem (grid 16, density 0.4, seed 3)
+	// was precompiled; a brand-new cache over the same directory must
+	// serve it from disk.
+	hot := graph.GnpConnected(16, 0.4, rand.New(rand.NewSource(3)))
+	res, err := core.CompileCached(context.Background(), arch.GridN(16), hot, core.Options{Workers: 1}, cache)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if res.Stats.CacheTier != string(cachestore.TierDisk) {
+		t.Fatalf("hot problem served from tier %q, want disk", res.Stats.CacheTier)
+	}
+}

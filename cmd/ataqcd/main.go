@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	ataqc "github.com/ata-pattern/ataqc"
 	"github.com/ata-pattern/ataqc/internal/serve"
 	"github.com/ata-pattern/ataqc/internal/telemetry"
 )
@@ -53,6 +54,9 @@ func main() {
 		maxQubit = flag.Int("max-qubits", serve.DefaultMaxQubits, "per-request device/problem size cap")
 		chaos    = flag.Bool("chaos", false, "honor request chaos directives (panic/sleep injection) for robustness testing")
 
+		cacheDir   = flag.String("cache-dir", "", "persistent compilation-cache directory (empty = in-memory cache only)")
+		cacheBytes = flag.Int64("cache-max-bytes", 0, "disk cache byte budget; LRU entries are evicted above it (0 = unbounded)")
+
 		recSize    = flag.Int("recorder-size", 256, "flight-recorder ring capacity (completed requests debugz can replay)")
 		sloWindow  = flag.Duration("slo-window", 5*time.Minute, "SLO rolling measurement window")
 		sloLatency = flag.Duration("slo-latency", time.Second, "SLO latency objective: target fraction of successes must finish within this")
@@ -61,7 +65,22 @@ func main() {
 		sloDegPct  = flag.Float64("slo-degrade-target", 0.9, "fraction of successful answers that must be full fidelity (undegraded)")
 	)
 	flag.Parse()
-	if err := run(*addr, serve.Config{
+	// The daemon always compiles through a cache: memory-only by default
+	// (repeat submissions of the same problem are served from RAM), plus a
+	// persistent disk tier when -cache-dir is given so warm state survives
+	// restarts and ataqc-warm precomputation pays off.
+	var cache *ataqc.Cache
+	if *cacheDir != "" {
+		var err error
+		if cache, err = ataqc.OpenCache(*cacheDir, *cacheBytes); err != nil {
+			fmt.Fprintf(os.Stderr, "ataqcd: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		cache = ataqc.MemoryCache()
+	}
+	err := run(*addr, serve.Config{
+		Cache:          cache,
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		RequestTimeout: *reqTO,
@@ -78,7 +97,13 @@ func main() {
 			DegradeTarget: *sloDegPct,
 		},
 		Logf: log.Printf,
-	}); err != nil {
+	})
+	// Close after run returns (not deferred past os.Exit) so the disk
+	// tier's index is flushed even on a failed run.
+	if cerr := cache.Close(); cerr != nil {
+		log.Printf("ataqcd: cache close: %v", cerr)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "ataqcd: %v\n", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,275 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/cachestore"
+	"github.com/ata-pattern/ataqc/internal/core"
+	"github.com/ata-pattern/ataqc/internal/graph"
+)
+
+// CacheBenchConfig sizes the persistent-cache cold/warm sweep.
+type CacheBenchConfig struct {
+	// Dir is the cache directory to benchmark against. It must start
+	// empty — the cold phase's whole point is that nothing is cached yet.
+	Dir string
+	// Quick restricts the sweep to CI-sized instances.
+	Quick bool
+}
+
+// CachePhaseStats summarises one request phase's latency distribution.
+type CachePhaseStats struct {
+	Requests int     `json:"requests"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MeanMs   float64 `json:"mean_ms"`
+}
+
+// CacheBench is the document serialised to BENCH_cache.json; see
+// EXPERIMENTS.md for the schema contract. Cold is the first-ever compile
+// of each instance against an empty cache directory; Warm is the same
+// request stream replayed after a simulated daemon restart (fresh
+// process-local memory tier, same directory), so every warm hit must
+// come off disk; Isomorphic replays relabeled variants of the same
+// problems, which only canonical hashing can serve from cache.
+type CacheBench struct {
+	Instances int             `json:"instances"`
+	Cold      CachePhaseStats `json:"cold"`
+	Warm      CachePhaseStats `json:"warm"`
+	Iso       CachePhaseStats `json:"isomorphic"`
+	// SpeedupP50/P99 compare cold to warm at the same percentile.
+	SpeedupP50 float64 `json:"speedup_p50"`
+	SpeedupP99 float64 `json:"speedup_p99"`
+	// DiskHitRate is the fraction of warm-phase requests served from the
+	// disk tier (the memory tier is empty after the restart, so anything
+	// not from disk was a miss).
+	DiskHitRate float64 `json:"disk_hit_rate"`
+	// IsoHitRate is the fraction of relabeled resubmissions served from
+	// any cache tier.
+	IsoHitRate float64 `json:"iso_hit_rate"`
+	// Identical reports that every warm result was byte-identical to its
+	// cold counterpart (gates, mappings, source). RunCacheBench returns
+	// an error — not just false — on a divergence.
+	Identical bool `json:"identical"`
+	// Disk overhead: what the warm start costs in storage.
+	DiskEntries   int     `json:"disk_entries"`
+	DiskBytes     int64   `json:"disk_bytes"`
+	BytesPerEntry float64 `json:"bytes_per_entry"`
+	Corrupt       int64   `json:"corrupt"`
+}
+
+// cacheInstance is one benchmark workload: a device plus a problem
+// compiled with daemon-default options.
+type cacheInstance struct {
+	name string
+	a    *arch.Arch
+	p    *graph.Graph
+}
+
+func cacheInstances(quick bool) []cacheInstance {
+	mk := func(name string, a *arch.Arch, n int, density float64, seed int64) cacheInstance {
+		return cacheInstance{name: name, a: a, p: graph.GnpConnected(n, density, rand.New(rand.NewSource(seed)))}
+	}
+	out := []cacheInstance{
+		mk("line-12/er-0.50", arch.Line(12), 12, 0.50, 11),
+		mk("grid-16/er-0.40", arch.GridN(16), 16, 0.40, 12),
+		mk("grid-16/er-0.55", arch.GridN(16), 16, 0.55, 13),
+		mk("grid-25/er-0.35", arch.GridN(25), 25, 0.35, 14),
+		mk("sycamore-16/er-0.40", arch.SycamoreN(16), 16, 0.40, 15),
+		mk("heavyhex-20/er-0.30", arch.HeavyHexN(20), 18, 0.30, 16),
+		mk("hexagon-18/er-0.35", arch.HexagonN(18), 16, 0.35, 17),
+		mk("mumbai/er-0.30", arch.Mumbai(), 24, 0.30, 18),
+	}
+	if !quick {
+		out = append(out,
+			mk("grid-36/er-0.35", arch.GridN(36), 36, 0.35, 19),
+			mk("grid-49/er-0.30", arch.GridN(49), 49, 0.30, 20),
+			mk("heavyhex-32/er-0.30", arch.HeavyHexN(32), 28, 0.30, 21),
+			mk("sycamore-25/er-0.35", arch.SycamoreN(25), 25, 0.35, 22),
+		)
+	}
+	return out
+}
+
+// sameCompile reports byte-identity of two compilation results in the
+// fields the cache contract covers: the gate stream, both mappings, and
+// the winning source. (Timings legitimately differ on a hit.)
+func sameCompile(x, y *core.Result) bool {
+	if x.Source != y.Source || len(x.Circuit.Gates) != len(y.Circuit.Gates) {
+		return false
+	}
+	for i := range x.Circuit.Gates {
+		if x.Circuit.Gates[i] != y.Circuit.Gates[i] {
+			return false
+		}
+	}
+	if len(x.Initial) != len(y.Initial) || len(x.Final) != len(y.Final) {
+		return false
+	}
+	for i := range x.Initial {
+		if x.Initial[i] != y.Initial[i] {
+			return false
+		}
+	}
+	for i := range x.Final {
+		if x.Final[i] != y.Final[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func phaseStats(latencies []time.Duration) CachePhaseStats {
+	ms := make([]float64, len(latencies))
+	var sum float64
+	for i, d := range latencies {
+		ms[i] = float64(d) / float64(time.Millisecond)
+		sum += ms[i]
+	}
+	sort.Float64s(ms)
+	pct := func(p float64) float64 {
+		if len(ms) == 0 {
+			return 0
+		}
+		idx := int(p*float64(len(ms))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ms) {
+			idx = len(ms) - 1
+		}
+		return ms[idx]
+	}
+	return CachePhaseStats{
+		Requests: len(ms),
+		P50Ms:    pct(0.50),
+		P99Ms:    pct(0.99),
+		MeanMs:   sum / float64(max(len(ms), 1)),
+	}
+}
+
+// RunCacheBench measures the two-tier persistent compilation cache end
+// to end: a cold pass populates an empty cache directory, the process'
+// memory tier is then discarded (simulated daemon restart), and the same
+// request stream replays against the disk tier alone, followed by
+// relabeled isomorphic variants that only canonical hashing can match.
+// It returns an error — not just a slow number — when any warm result
+// diverges from its cold counterpart, so the CI regression gate fails
+// loudly on a cache-correctness break.
+func RunCacheBench(cfg CacheBenchConfig) (*CacheBench, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("cache bench: Dir is required")
+	}
+	instances := cacheInstances(cfg.Quick)
+	ctx := context.Background()
+	opts := core.Options{Workers: 1} // mirror the daemon's default request path
+
+	// Cold phase: empty directory, every request is a miss.
+	store, err := cachestore.Open(cfg.Dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("cache bench: open: %w", err)
+	}
+	cold := core.NewCache(cachestore.NewTiered(store, 0))
+	coldResults := make([]*core.Result, len(instances))
+	coldLat := make([]time.Duration, 0, len(instances))
+	for i, inst := range instances {
+		t0 := time.Now()
+		res, err := core.CompileCached(ctx, inst.a, inst.p, opts, cold)
+		coldLat = append(coldLat, time.Since(t0))
+		if err != nil {
+			cold.Close()
+			return nil, fmt.Errorf("cache bench: cold %s: %w", inst.name, err)
+		}
+		if res.Stats.CacheTier != "" {
+			cold.Close()
+			return nil, fmt.Errorf("cache bench: cold %s served from tier %q — Dir was not empty", inst.name, res.Stats.CacheTier)
+		}
+		coldResults[i] = res
+	}
+	if err := cold.Close(); err != nil {
+		return nil, fmt.Errorf("cache bench: close after cold phase: %w", err)
+	}
+
+	// Simulated restart: a new store over the same directory with a fresh
+	// (empty) memory tier. Every hit in the warm phase is a disk hit.
+	store, err = cachestore.Open(cfg.Dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("cache bench: reopen: %w", err)
+	}
+	warm := core.NewCache(cachestore.NewTiered(store, 0))
+	defer warm.Close()
+
+	warmLat := make([]time.Duration, 0, len(instances))
+	diskHits := 0
+	for i, inst := range instances {
+		t0 := time.Now()
+		res, err := core.CompileCached(ctx, inst.a, inst.p, opts, warm)
+		warmLat = append(warmLat, time.Since(t0))
+		if err != nil {
+			return nil, fmt.Errorf("cache bench: warm %s: %w", inst.name, err)
+		}
+		if res.Stats.CacheTier == string(cachestore.TierDisk) {
+			diskHits++
+		}
+		if !sameCompile(coldResults[i], res) {
+			return nil, fmt.Errorf("cache regression: warm result for %s diverged from the cold compile", inst.name)
+		}
+	}
+
+	// Isomorphic phase: relabeled resubmissions. The request bodies are
+	// new, but canonical hashing must route them to the existing entries.
+	rng := rand.New(rand.NewSource(7))
+	isoLat := make([]time.Duration, 0, len(instances))
+	isoHits := 0
+	for _, inst := range instances {
+		q := graph.Relabel(inst.p, rng.Perm(inst.p.N()))
+		t0 := time.Now()
+		res, err := core.CompileCached(ctx, inst.a, q, opts, warm)
+		isoLat = append(isoLat, time.Since(t0))
+		if err != nil {
+			return nil, fmt.Errorf("cache bench: isomorphic %s: %w", inst.name, err)
+		}
+		if res.Stats.CacheTier != "" {
+			isoHits++
+		}
+	}
+
+	st := warm.Stats()
+	out := &CacheBench{
+		Instances:   len(instances),
+		Cold:        phaseStats(coldLat),
+		Warm:        phaseStats(warmLat),
+		Iso:         phaseStats(isoLat),
+		DiskHitRate: float64(diskHits) / float64(len(instances)),
+		IsoHitRate:  float64(isoHits) / float64(len(instances)),
+		Identical:   true,
+		DiskEntries: st.Result.Disk.Entries,
+		DiskBytes:   st.Result.Disk.Bytes,
+		Corrupt:     st.Corrupt + st.Result.Disk.Corrupt,
+	}
+	if out.Warm.P50Ms > 0 {
+		out.SpeedupP50 = out.Cold.P50Ms / out.Warm.P50Ms
+	}
+	if out.Warm.P99Ms > 0 {
+		out.SpeedupP99 = out.Cold.P99Ms / out.Warm.P99Ms
+	}
+	if out.DiskEntries > 0 {
+		out.BytesPerEntry = float64(out.DiskBytes) / float64(out.DiskEntries)
+	}
+	return out, nil
+}
+
+// WriteJSON serialises the benchmark document (indented, trailing
+// newline) — the exact bytes checked in as BENCH_cache.json.
+func (s *CacheBench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

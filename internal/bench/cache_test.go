@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// TestCacheBenchRegression is the CI gate for the persistent compilation
+// cache: it runs the cold → restart → warm → isomorphic sweep against a
+// temporary directory, hard-fails unless every warm result is
+// byte-identical to its cold counterpart (RunCacheBench returns
+// divergence as an error), and enforces the headline contract — warm p99
+// at least 2x better than cold off the disk tier alone, with at least
+// 80% of warm requests served from disk and every relabeled isomorphic
+// resubmission served from cache. Set BENCH_CACHE_OUT to regenerate the
+// artifact, which adds the larger instances:
+// BENCH_CACHE_OUT=BENCH_cache.json go test ./internal/bench -run
+// TestCacheBenchRegression.
+func TestCacheBenchRegression(t *testing.T) {
+	out := os.Getenv("BENCH_CACHE_OUT")
+	cfg := CacheBenchConfig{Dir: t.TempDir(), Quick: out == ""}
+	s, err := RunCacheBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cold p50=%.3fms p99=%.3fms | warm p50=%.3fms p99=%.3fms | speedup p50=%.1fx p99=%.1fx | disk hit rate=%.2f iso=%.2f | %d entries, %d bytes",
+		s.Cold.P50Ms, s.Cold.P99Ms, s.Warm.P50Ms, s.Warm.P99Ms,
+		s.SpeedupP50, s.SpeedupP99, s.DiskHitRate, s.IsoHitRate, s.DiskEntries, s.DiskBytes)
+	if !s.Identical {
+		t.Fatal("warm results not byte-identical to cold")
+	}
+	if s.Corrupt != 0 {
+		t.Fatalf("cache reported %d corrupt entries during the bench", s.Corrupt)
+	}
+	if s.DiskHitRate < 0.8 {
+		t.Fatalf("disk hit rate %.2f under the 0.80 floor", s.DiskHitRate)
+	}
+	if s.IsoHitRate < 1.0 {
+		t.Fatalf("isomorphic hit rate %.2f, want 1.00 — canonical hashing is leaking entries", s.IsoHitRate)
+	}
+	if s.SpeedupP99 < 2.0 {
+		t.Fatalf("warm p99 speedup %.2fx under the 2x floor (cold %.3fms, warm %.3fms)",
+			s.SpeedupP99, s.Cold.P99Ms, s.Warm.P99Ms)
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := s.WriteJSON(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

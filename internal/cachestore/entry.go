@@ -1,0 +1,72 @@
+package cachestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+)
+
+// Entry wire format (little-endian):
+//
+//	magic   [4]byte  "ATQC"
+//	version uint16   entryVersion
+//	key     [49]byte Key.encode — the file's content address, echoed so a
+//	                 misnamed or cross-linked file cannot satisfy a Get
+//	payload uint32   length, then that many bytes
+//	sum     uint64   FNV-64a over every preceding byte
+//
+// DecodeEntry never panics: every malformed shape — short buffer, bad
+// magic, version skew, oversized length, trailing garbage, checksum
+// mismatch — is an error the store translates into a silent miss.
+
+var entryMagic = [4]byte{'A', 'T', 'Q', 'C'}
+
+const (
+	entryVersion  = 1
+	entryHeader   = 4 + 2 + keyBytes + 4
+	entryTrailer  = 8
+	maxPayloadLen = 16 << 20
+)
+
+// ErrCorrupt reports an entry that failed structural or checksum
+// validation.
+var ErrCorrupt = errors.New("cachestore: corrupt entry")
+
+// EncodeEntry frames a payload for disk under its key.
+func EncodeEntry(k Key, payload []byte) []byte {
+	out := make([]byte, 0, entryHeader+len(payload)+entryTrailer)
+	out = append(out, entryMagic[:]...)
+	out = binary.LittleEndian.AppendUint16(out, entryVersion)
+	enc := k.encode()
+	out = append(out, enc[:]...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	h := fnv.New64a()
+	h.Write(out)
+	return binary.LittleEndian.AppendUint64(out, h.Sum64())
+}
+
+// DecodeEntry validates a framed entry and returns its key and payload.
+func DecodeEntry(b []byte) (Key, []byte, error) {
+	if len(b) < entryHeader+entryTrailer {
+		return Key{}, nil, ErrCorrupt
+	}
+	if [4]byte(b[:4]) != entryMagic {
+		return Key{}, nil, ErrCorrupt
+	}
+	if binary.LittleEndian.Uint16(b[4:6]) != entryVersion {
+		return Key{}, nil, ErrCorrupt
+	}
+	k := decodeKey(b[6 : 6+keyBytes])
+	plen := binary.LittleEndian.Uint32(b[6+keyBytes:])
+	if plen > maxPayloadLen || len(b) != entryHeader+int(plen)+entryTrailer {
+		return Key{}, nil, ErrCorrupt
+	}
+	body := b[:entryHeader+int(plen)]
+	h := fnv.New64a()
+	h.Write(body)
+	if h.Sum64() != binary.LittleEndian.Uint64(b[len(b)-entryTrailer:]) {
+		return Key{}, nil, ErrCorrupt
+	}
+	return k, b[entryHeader : entryHeader+int(plen)], nil
+}

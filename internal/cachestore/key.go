@@ -1,0 +1,142 @@
+// Package cachestore is the persistent tier of the compilation cache: a
+// content-addressed on-disk store of versioned, checksummed entries plus
+// an in-memory LRU front (Tiered). Keys are (architecture fingerprint,
+// canonical content hash, options digest) triples, so isomorphic compile
+// requests — and independently constructed but identical devices — share
+// entries across process restarts.
+//
+// The durability contract is deliberately one-sided: writes are atomic
+// (write-temp-then-rename with the data fsync'd first) and the index is
+// an fsync'd append-only journal, but any corruption discovered on read —
+// a bad magic, a version skew, a checksum mismatch, a truncated file —
+// is a silent miss that bumps a counter and deletes the carcass. The
+// cache can lose entries; it can never serve a damaged one, and it never
+// turns disk rot into a compile error.
+package cachestore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+)
+
+// Kind namespaces the record types sharing one store.
+type Kind uint8
+
+const (
+	// KindResult is a full compiled-circuit record (ResultRecord) in the
+	// problem's canonical frame.
+	KindResult Kind = 1
+	// KindPattern is a region-structure record (PatternRecord): the
+	// geometry the ATA patterns derive from (arch, region).
+	KindPattern Kind = 2
+	// KindSolver is a depth-optimal solver certificate (SolverRecord).
+	KindSolver Kind = 3
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindResult:
+		return "result"
+	case KindPattern:
+		return "pattern"
+	case KindSolver:
+		return "solver"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Key addresses one cache entry: the architecture's structural
+// fingerprint, the record kind, a 32-byte content hash (the canonical
+// problem-graph hash for results, a region digest for patterns), and the
+// digest of the compile options the record depends on (0 when none do).
+type Key struct {
+	Arch uint64
+	Kind Kind
+	Hash [32]byte
+	Opts uint64
+}
+
+// keyBytes is the fixed wire size of an encoded Key.
+const keyBytes = 8 + 1 + 32 + 8
+
+// encode serializes the key into its fixed 49-byte wire form.
+func (k Key) encode() [keyBytes]byte {
+	var out [keyBytes]byte
+	binary.LittleEndian.PutUint64(out[0:], k.Arch)
+	out[8] = byte(k.Kind)
+	copy(out[9:41], k.Hash[:])
+	binary.LittleEndian.PutUint64(out[41:], k.Opts)
+	return out
+}
+
+func decodeKey(b []byte) Key {
+	var k Key
+	k.Arch = binary.LittleEndian.Uint64(b[0:])
+	k.Kind = Kind(b[8])
+	copy(k.Hash[:], b[9:41])
+	k.Opts = binary.LittleEndian.Uint64(b[41:])
+	return k
+}
+
+// filename is the content address: the hex form of the encoded key plus
+// the entry suffix. parseFilename is its inverse.
+func (k Key) filename() string {
+	enc := k.encode()
+	return hex.EncodeToString(enc[:]) + ".e"
+}
+
+// shardDir spreads entries over 256 subdirectories by the first hash
+// byte, keeping directory fan-in sane for large caches.
+func (k Key) shardDir() string {
+	return hex.EncodeToString(k.Hash[:1])
+}
+
+func parseFilename(name string) (Key, bool) {
+	const hexLen = keyBytes * 2
+	if len(name) != hexLen+2 || name[hexLen:] != ".e" {
+		return Key{}, false
+	}
+	raw, err := hex.DecodeString(name[:hexLen])
+	if err != nil {
+		return Key{}, false
+	}
+	return decodeKey(raw), true
+}
+
+// ResultKey addresses a compiled-circuit record.
+func ResultKey(archFP uint64, problemHash [32]byte, optsDigest uint64) Key {
+	return Key{Arch: archFP, Kind: KindResult, Hash: problemHash, Opts: optsDigest}
+}
+
+// PatternKey addresses a region-structure record: the hash digests the
+// region bounds, so every unit/window of an architecture gets its own
+// entry.
+func PatternKey(archFP uint64, r arch.Region) Key {
+	return Key{Arch: archFP, Kind: KindPattern, Hash: regionHash(r)}
+}
+
+// SolverKey addresses a solver-optimum certificate for a canonical
+// problem on an architecture.
+func SolverKey(archFP uint64, problemHash [32]byte) Key {
+	return Key{Arch: archFP, Kind: KindSolver, Hash: problemHash}
+}
+
+func regionHash(r arch.Region) [32]byte {
+	b := binary.AppendVarint(nil, int64(r.U0))
+	b = binary.AppendVarint(b, int64(r.U1))
+	b = binary.AppendVarint(b, int64(r.P0))
+	b = binary.AppendVarint(b, int64(r.P1))
+	b = binary.AppendVarint(b, int64(r.I0))
+	b = binary.AppendVarint(b, int64(r.I1))
+	if r.UsesPath {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return sha256.Sum256(b)
+}

@@ -1,0 +1,368 @@
+package cachestore
+
+import (
+	"encoding/binary"
+	"math"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+)
+
+// Record payloads are versioned varint streams behind the entry frame's
+// checksum. The decoders are defensive anyway — the fuzz target feeds
+// them raw attacker-controlled bytes — so every length is bounded and a
+// malformed stream yields ErrCorrupt, never a panic or a giant
+// allocation.
+
+const (
+	resultRecordVersion  = 1
+	patternRecordVersion = 1
+	solverRecordVersion  = 1
+	// maxRecordElems bounds every decoded slice length: the service caps
+	// problems at 1024 qubits, so no honest record comes near it.
+	maxRecordElems = 1 << 22
+)
+
+// ResultRecord is a compiled circuit in its problem's canonical frame:
+// enough to rebuild the exact Result a fresh compile would produce after
+// translating back through the request's canonical permutation.
+type ResultRecord struct {
+	Source         string
+	NQubits        int // logical qubit count of the problem
+	SelectedPrefix int
+	Degraded       bool
+	Initial        []int
+	Final          []int
+	Gates          []GateRecord
+}
+
+// GateRecord is one circuit gate: physical operands, the recorded angle,
+// and the logical interaction tag (canonical-frame vertex ids).
+type GateRecord struct {
+	Kind   int
+	Q0, Q1 int
+	Angle  float64
+	TagU   int
+	TagV   int
+	Tagged bool
+}
+
+// EncodeResult serializes r.
+func EncodeResult(r *ResultRecord) []byte {
+	w := []byte{resultRecordVersion}
+	w = appendString(w, r.Source)
+	w = binary.AppendVarint(w, int64(r.NQubits))
+	w = binary.AppendVarint(w, int64(r.SelectedPrefix))
+	w = appendBool(w, r.Degraded)
+	w = appendIntSlice(w, r.Initial)
+	w = appendIntSlice(w, r.Final)
+	w = binary.AppendUvarint(w, uint64(len(r.Gates)))
+	for _, g := range r.Gates {
+		w = binary.AppendVarint(w, int64(g.Kind))
+		w = binary.AppendVarint(w, int64(g.Q0))
+		w = binary.AppendVarint(w, int64(g.Q1))
+		w = binary.LittleEndian.AppendUint64(w, math.Float64bits(g.Angle))
+		w = binary.AppendVarint(w, int64(g.TagU))
+		w = binary.AppendVarint(w, int64(g.TagV))
+		w = appendBool(w, g.Tagged)
+	}
+	return w
+}
+
+// DecodeResult parses an EncodeResult payload.
+func DecodeResult(b []byte) (*ResultRecord, error) {
+	r := &reader{b: b}
+	if r.byte() != resultRecordVersion {
+		return nil, ErrCorrupt
+	}
+	out := &ResultRecord{
+		Source:         r.str(),
+		NQubits:        r.int(),
+		SelectedPrefix: r.int(),
+		Degraded:       r.bool(),
+		Initial:        r.intSlice(),
+		Final:          r.intSlice(),
+	}
+	n := r.length()
+	if r.failed {
+		return nil, ErrCorrupt
+	}
+	if n > 0 {
+		out.Gates = make([]GateRecord, 0, min(n, 4096))
+	}
+	for i := 0; i < n; i++ {
+		g := GateRecord{
+			Kind:  r.int(),
+			Q0:    r.int(),
+			Q1:    r.int(),
+			Angle: math.Float64frombits(r.uint64()),
+			TagU:  r.int(),
+			TagV:  r.int(),
+		}
+		g.Tagged = r.bool()
+		if r.failed {
+			return nil, ErrCorrupt
+		}
+		out.Gates = append(out.Gates, g)
+	}
+	if !r.done() {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}
+
+// PatternRecord is the region geometry the ATA patterns derive from
+// (arch, region): the warm sweeper stores one per unit/window so a fresh
+// daemon's pattern cache starts populated.
+type PatternRecord struct {
+	// Region is the cache key the structural lookup uses (the raw region
+	// as requested); Norm is its normalized form.
+	Region   arch.Region
+	Norm     arch.Region
+	Units    [][]int
+	Qubits   []int
+	InRegion []bool
+	SnakeSeg []int
+	SnakeOK  bool
+}
+
+func appendRegion(w []byte, r arch.Region) []byte {
+	w = binary.AppendVarint(w, int64(r.U0))
+	w = binary.AppendVarint(w, int64(r.U1))
+	w = binary.AppendVarint(w, int64(r.P0))
+	w = binary.AppendVarint(w, int64(r.P1))
+	w = binary.AppendVarint(w, int64(r.I0))
+	w = binary.AppendVarint(w, int64(r.I1))
+	return appendBool(w, r.UsesPath)
+}
+
+func (r *reader) region() arch.Region {
+	return arch.Region{
+		U0: r.int(), U1: r.int(),
+		P0: r.int(), P1: r.int(),
+		I0: r.int(), I1: r.int(),
+		UsesPath: r.bool(),
+	}
+}
+
+// EncodePattern serializes p.
+func EncodePattern(p *PatternRecord) []byte {
+	w := []byte{patternRecordVersion}
+	w = appendRegion(w, p.Region)
+	w = appendRegion(w, p.Norm)
+	w = binary.AppendUvarint(w, uint64(len(p.Units)))
+	for _, u := range p.Units {
+		w = appendIntSlice(w, u)
+	}
+	w = appendIntSlice(w, p.Qubits)
+	w = appendBoolSlice(w, p.InRegion)
+	w = appendIntSlice(w, p.SnakeSeg)
+	return appendBool(w, p.SnakeOK)
+}
+
+// DecodePattern parses an EncodePattern payload.
+func DecodePattern(b []byte) (*PatternRecord, error) {
+	r := &reader{b: b}
+	if r.byte() != patternRecordVersion {
+		return nil, ErrCorrupt
+	}
+	out := &PatternRecord{
+		Region: r.region(),
+		Norm:   r.region(),
+	}
+	n := r.length()
+	if r.failed {
+		return nil, ErrCorrupt
+	}
+	if n > 0 {
+		out.Units = make([][]int, 0, min(n, 4096))
+	}
+	for i := 0; i < n; i++ {
+		out.Units = append(out.Units, r.intSlice())
+		if r.failed {
+			return nil, ErrCorrupt
+		}
+	}
+	out.Qubits = r.intSlice()
+	out.InRegion = r.boolSlice()
+	out.SnakeSeg = r.intSlice()
+	out.SnakeOK = r.bool()
+	if !r.done() {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}
+
+// SolverRecord is a depth-optimal solver certificate: the proven minimal
+// depth of a canonical problem on an architecture, and how much search
+// it took (provenance for experiment reports).
+type SolverRecord struct {
+	Depth    int
+	Explored int64
+}
+
+// EncodeSolver serializes s.
+func EncodeSolver(s *SolverRecord) []byte {
+	w := []byte{solverRecordVersion}
+	w = binary.AppendVarint(w, int64(s.Depth))
+	return binary.AppendVarint(w, s.Explored)
+}
+
+// DecodeSolver parses an EncodeSolver payload.
+func DecodeSolver(b []byte) (*SolverRecord, error) {
+	r := &reader{b: b}
+	if r.byte() != solverRecordVersion {
+		return nil, ErrCorrupt
+	}
+	out := &SolverRecord{Depth: r.int(), Explored: r.int64()}
+	if !r.done() {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}
+
+// --- codec plumbing ---
+
+func appendString(w []byte, s string) []byte {
+	w = binary.AppendUvarint(w, uint64(len(s)))
+	return append(w, s...)
+}
+
+func appendBool(w []byte, b bool) []byte {
+	if b {
+		return append(w, 1)
+	}
+	return append(w, 0)
+}
+
+func appendIntSlice(w []byte, xs []int) []byte {
+	w = binary.AppendUvarint(w, uint64(len(xs)))
+	for _, x := range xs {
+		w = binary.AppendVarint(w, int64(x))
+	}
+	return w
+}
+
+func appendBoolSlice(w []byte, xs []bool) []byte {
+	w = binary.AppendUvarint(w, uint64(len(xs)))
+	for _, x := range xs {
+		w = appendBool(w, x)
+	}
+	return w
+}
+
+// reader is a failure-latching varint cursor: after any malformed or
+// truncated read every subsequent accessor returns a zero value and
+// failed stays set, so decoders can check once per loop instead of
+// per field.
+type reader struct {
+	b      []byte
+	failed bool
+}
+
+func (r *reader) fail() {
+	r.failed = true
+	r.b = nil
+}
+
+func (r *reader) byte() byte {
+	if len(r.b) < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *reader) uvarint() uint64 {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *reader) varint() int64 {
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *reader) int() int { return int(r.varint()) }
+
+func (r *reader) int64() int64 { return r.varint() }
+
+func (r *reader) uint64() uint64 {
+	if len(r.b) < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *reader) bool() bool { return r.byte() == 1 }
+
+// length reads a slice length, bounding it to keep hostile payloads from
+// driving huge allocations.
+func (r *reader) length() int {
+	v := r.uvarint()
+	if v > maxRecordElems {
+		r.fail()
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) str() string {
+	n := r.length()
+	if r.failed || len(r.b) < n {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}
+
+func (r *reader) intSlice() []int {
+	n := r.length()
+	if r.failed || n == 0 {
+		return nil
+	}
+	out := make([]int, 0, min(n, 4096))
+	for i := 0; i < n; i++ {
+		out = append(out, r.int())
+		if r.failed {
+			return nil
+		}
+	}
+	return out
+}
+
+func (r *reader) boolSlice() []bool {
+	n := r.length()
+	if r.failed || len(r.b) < n {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		out[i] = r.b[i] == 1
+	}
+	r.b = r.b[n:]
+	return out
+}
+
+// done reports a fully consumed, error-free stream.
+func (r *reader) done() bool { return !r.failed && len(r.b) == 0 }

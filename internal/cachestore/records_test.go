@@ -1,0 +1,139 @@
+package cachestore
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+)
+
+func sampleResult() *ResultRecord {
+	return &ResultRecord{
+		Source:         "hybrid",
+		NQubits:        5,
+		SelectedPrefix: 7,
+		Initial:        []int{4, 3, 2, 1, 0},
+		Final:          []int{0, 1, 2, 3, 4},
+		Gates: []GateRecord{
+			{Kind: 3, Q0: 0, Q1: 1, Angle: 0.37, TagU: 2, TagV: 4, Tagged: true},
+			{Kind: 5, Q0: 3, Q1: 4, Angle: 1},
+			{Kind: 1, Q0: 2, Q1: -1, Angle: -0.5, TagU: -1, TagV: -1},
+		},
+	}
+}
+
+func TestResultRecordRoundTrip(t *testing.T) {
+	in := sampleResult()
+	out, err := DecodeResult(EncodeResult(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in %+v\nout %+v", in, out)
+	}
+
+	empty := &ResultRecord{Source: "ata", SelectedPrefix: -1}
+	out, err = DecodeResult(EncodeResult(empty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(empty, out) {
+		t.Fatalf("empty round trip mismatch: %+v", out)
+	}
+}
+
+func TestPatternRecordRoundTrip(t *testing.T) {
+	in := &PatternRecord{
+		Region:   arch.Region{U0: 1, U1: 3, P0: 0, P1: 4},
+		Norm:     arch.Region{U0: 1, U1: 3, P0: 0, P1: 4},
+		Units:    [][]int{{0, 1, 2}, {5, 6, 7}},
+		Qubits:   []int{0, 1, 2, 5, 6, 7},
+		InRegion: []bool{true, true, true, false, false, true, true, true},
+		SnakeSeg: []int{2, 1, 0, 5},
+		SnakeOK:  true,
+	}
+	out, err := DecodePattern(EncodePattern(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in %+v\nout %+v", in, out)
+	}
+
+	pathRegion := &PatternRecord{
+		Region: arch.Region{I0: 2, I1: 9, UsesPath: true},
+		Norm:   arch.Region{I0: 2, I1: 9, UsesPath: true},
+		Qubits: []int{2, 3, 4},
+	}
+	out, err = DecodePattern(EncodePattern(pathRegion))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pathRegion, out) {
+		t.Fatalf("path-region round trip mismatch: %+v", out)
+	}
+}
+
+func TestSolverRecordRoundTrip(t *testing.T) {
+	in := &SolverRecord{Depth: 14, Explored: 123456}
+	out, err := DecodeSolver(EncodeSolver(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *in != *out {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	blob := EncodeResult(sampleResult())
+	// Every truncation must fail cleanly.
+	for i := 0; i < len(blob); i++ {
+		if _, err := DecodeResult(blob[:i]); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", i)
+		}
+	}
+	// Version skew.
+	bad := append([]byte(nil), blob...)
+	bad[0] = 99
+	if _, err := DecodeResult(bad); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	// Trailing garbage.
+	if _, err := DecodeResult(append(append([]byte(nil), blob...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestEntryFrameRejectsDamage(t *testing.T) {
+	k := testKey(5)
+	blob := EncodeEntry(k, []byte("payload"))
+	if gotK, p, err := DecodeEntry(blob); err != nil || gotK != k || string(p) != "payload" {
+		t.Fatalf("clean decode failed: %v %v %q", gotK, err, p)
+	}
+	// Every truncation fails.
+	for i := 0; i < len(blob); i++ {
+		if _, _, err := DecodeEntry(blob[:i]); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+	// Every single-bit flip fails (checksum or structure).
+	for i := 0; i < len(blob); i++ {
+		mut := append([]byte(nil), blob...)
+		mut[i] ^= 1
+		if gotK, p, err := DecodeEntry(mut); err == nil && gotK == k && string(p) == "payload" {
+			t.Fatalf("bit flip at byte %d went unnoticed", i)
+		}
+	}
+}
+
+func TestKeyFilenameRoundTrip(t *testing.T) {
+	k := testKey(11)
+	got, ok := parseFilename(k.filename())
+	if !ok || got != k {
+		t.Fatalf("parseFilename(%q) = %v, %v", k.filename(), got, ok)
+	}
+	if _, ok := parseFilename("not-a-key.e"); ok {
+		t.Fatal("junk filename parsed")
+	}
+}

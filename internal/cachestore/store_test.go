@@ -1,0 +1,289 @@
+package cachestore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+)
+
+func testKey(i byte) Key {
+	var h [32]byte
+	h[0] = i
+	h[31] = i ^ 0x5a
+	return ResultKey(0xfeed, h, uint64(i))
+}
+
+func TestStorePutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	k := testKey(1)
+	payload := []byte("compiled circuit bytes")
+	if err := s.Put(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(k)
+	if !ok || string(got) != string(payload) {
+		t.Fatalf("Get = %q, %v; want stored payload", got, ok)
+	}
+	if _, ok := s.Get(testKey(2)); ok {
+		t.Fatal("absent key reported a hit")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Bytes <= int64(len(payload)) {
+		t.Fatalf("accounted bytes %d do not cover payload+frame", st.Bytes)
+	}
+}
+
+func TestStorePersistsAcrossOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := byte(0); i < 10; i++ {
+		if err := s.Put(testKey(i), []byte{i, i, i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Journal replay path.
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := byte(0); i < 10; i++ {
+		got, ok := s2.Get(testKey(i))
+		if !ok || len(got) != 3 || got[0] != i {
+			t.Fatalf("after reopen: entry %d = %v, %v", i, got, ok)
+		}
+	}
+	s2.Close()
+
+	// Rescan path: delete the journal, entries must still be found.
+	if err := os.Remove(filepath.Join(dir, indexName)); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	for i := byte(0); i < 10; i++ {
+		if _, ok := s3.Get(testKey(i)); !ok {
+			t.Fatalf("after rescan: entry %d missing", i)
+		}
+	}
+}
+
+func TestStoreCorruptionIsSilentMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	k := testKey(3)
+	if err := s.Put(k, []byte("precious bits")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, k.shardDir(), k.filename())
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0x40 // flip one bit mid-payload
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("bit-flipped entry served as a hit")
+	}
+	st := s.Stats()
+	if st.Corrupt != 1 {
+		t.Fatalf("corrupt counter = %d, want 1", st.Corrupt)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry file was not deleted")
+	}
+	// And again: now a plain miss, not another corruption.
+	if _, ok := s.Get(k); ok {
+		t.Fatal("deleted entry served as a hit")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("corrupt counter moved to %d on a plain miss", st.Corrupt)
+	}
+}
+
+func TestStoreDeletedFileIsSilentMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	k := testKey(7)
+	if err := s.Put(k, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, k.shardDir(), k.filename())); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("vanished file served as a hit")
+	}
+	if st := s.Stats(); st.Entries != 0 {
+		t.Fatalf("stale entry meta survived: %+v", st)
+	}
+}
+
+func TestStoreEviction(t *testing.T) {
+	// Each entry is ~entryHeader+payload+trailer bytes; budget for ~3.
+	payload := make([]byte, 100)
+	entrySize := int64(len(EncodeEntry(testKey(0), payload)))
+	s, err := Open(t.TempDir(), 3*entrySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := byte(0); i < 8; i++ {
+		if err := s.Put(testKey(i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Entries != 3 {
+		t.Fatalf("entries = %d, want 3 after eviction", st.Entries)
+	}
+	if st.Bytes > 3*entrySize {
+		t.Fatalf("bytes %d exceed the %d budget", st.Bytes, 3*entrySize)
+	}
+	if st.Evictions != 5 {
+		t.Fatalf("evictions = %d, want 5", st.Evictions)
+	}
+	// Most recent entries survive.
+	for i := byte(5); i < 8; i++ {
+		if _, ok := s.Get(testKey(i)); !ok {
+			t.Fatalf("recent entry %d was evicted", i)
+		}
+	}
+}
+
+func TestStoreKeysFilters(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var h [32]byte
+	if err := s.Put(ResultKey(1, h, 0), []byte("r")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(PatternKey(1, arch.Region{U0: 0, U1: 1}), []byte("p1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(PatternKey(1, arch.Region{U0: 2, U1: 3}), []byte("p2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(PatternKey(2, arch.Region{U0: 0, U1: 1}), []byte("other-arch")); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Keys(KindPattern, 1)); got != 2 {
+		t.Fatalf("Keys(pattern, arch 1) = %d entries, want 2", got)
+	}
+	if got := len(s.Keys(KindResult, 1)); got != 1 {
+		t.Fatalf("Keys(result, arch 1) = %d entries, want 1", got)
+	}
+}
+
+func TestStoreTornJournalRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testKey(1), []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Simulate a crash mid-append: garbage tail line.
+	f, err := os.OpenFile(filepath.Join(dir, indexName), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("P deadbeef") // torn, unparsable
+	f.Close()
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get(testKey(1)); !ok {
+		t.Fatal("entry lost after torn journal line")
+	}
+}
+
+func TestTieredPromotion(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := NewTiered(disk, 8)
+	k := testKey(9)
+	if err := tc.Put(k, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, tier, ok := tc.Get(k); !ok || tier != TierMem {
+		t.Fatalf("first get tier = %q, want mem", tier)
+	}
+	tc.Close()
+
+	// A fresh Tiered over the same dir: first hit from disk, second from
+	// the promoted mem entry.
+	disk2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc2 := NewTiered(disk2, 8)
+	defer tc2.Close()
+	if _, tier, ok := tc2.Get(k); !ok || tier != TierDisk {
+		t.Fatalf("warm-boot get tier = %q, want disk", tier)
+	}
+	if _, tier, ok := tc2.Get(k); !ok || tier != TierMem {
+		t.Fatalf("post-promotion get tier = %q, want mem", tier)
+	}
+	st := tc2.Stats()
+	if st.DiskHits != 1 || st.MemHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTieredMemoryOnly(t *testing.T) {
+	tc := NewTiered(nil, 2)
+	defer tc.Close()
+	for i := byte(0); i < 4; i++ {
+		if err := tc.Put(testKey(i), []byte{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, ok := tc.Get(testKey(0)); ok {
+		t.Fatal("mem LRU did not evict the oldest entry")
+	}
+	if _, tier, ok := tc.Get(testKey(3)); !ok || tier != TierMem {
+		t.Fatalf("recent entry tier = %q, %v", tier, ok)
+	}
+	if st := tc.Stats(); st.MemEntries != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/cachestore"
+	"github.com/ata-pattern/ataqc/internal/graph"
+	"github.com/ata-pattern/ataqc/internal/swapnet"
+)
+
+// TestCachePatternWarmLoad exercises the warm-start path ataqc-warm
+// feeds: pattern records persisted to the disk tier are installed into
+// the in-process pattern cache on preload, a record that fails to decode
+// counts as corruption and is skipped (never an error), and caches
+// without a disk tier preload nothing.
+func TestCachePatternWarmLoad(t *testing.T) {
+	store, err := cachestore.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arch.GridN(9)
+	fp := a.Fingerprint()
+	full := arch.FullRegion(a)
+
+	// One good record the way ataqc-warm writes it, plus one damaged
+	// payload under a different region key.
+	rec := swapnet.NewPatternCache(0).ExportRegion(a, full)
+	if err := store.Put(cachestore.PatternKey(fp, full), cachestore.EncodePattern(rec)); err != nil {
+		t.Fatal(err)
+	}
+	bad := arch.Region{U0: full.U0, U1: full.U0, P0: full.P0, P1: full.P1}
+	if err := store.Put(cachestore.PatternKey(fp, bad), []byte("not a pattern record")); err != nil {
+		t.Fatal(err)
+	}
+
+	cache := NewCache(cachestore.NewTiered(store, 0))
+	defer cache.Close()
+	if cache.Patterns() == nil || cache.Store() == nil {
+		t.Fatal("accessors returned nil for a disk-backed cache")
+	}
+	if n := cache.PreloadPatterns(a); n != 1 {
+		t.Fatalf("preloaded %d pattern records, want 1 (the damaged one must be skipped)", n)
+	}
+	if got := cache.Stats().Corrupt; got != 1 {
+		t.Fatalf("corrupt counter = %d, want 1", got)
+	}
+
+	// The warm cache still compiles normally — corruption costs time,
+	// never correctness.
+	p := graph.GnpConnected(9, 0.5, rand.New(rand.NewSource(1)))
+	res, err := CompileCached(context.Background(), a, p, Options{Workers: 1}, cache)
+	if err != nil {
+		t.Fatalf("compile after warm load: %v", err)
+	}
+	if res.Stats.CacheTier != "" {
+		t.Fatalf("first compile reported tier %q, want fresh", res.Stats.CacheTier)
+	}
+
+	// No disk tier (memory-only) and no store at all: nothing to preload.
+	memOnly := NewCache(cachestore.NewTiered(nil, 0))
+	defer memOnly.Close()
+	if n := memOnly.PreloadPatterns(a); n != 0 {
+		t.Fatalf("memory-only cache preloaded %d records, want 0", n)
+	}
+	none := NewCache(nil)
+	if n := none.PreloadPatterns(a); n != 0 {
+		t.Fatalf("store-less cache preloaded %d records, want 0", n)
+	}
+	if err := none.Close(); err != nil {
+		t.Fatalf("store-less close: %v", err)
+	}
+}

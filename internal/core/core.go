@@ -89,6 +89,34 @@ type Options struct {
 	// compiled circuit. The trace's clock also drives the wall-clock budget
 	// and Stats.Elapsed, so tests can compile under a synthetic clock.
 	Trace *obs.Trace
+	// PatternCache, when non-nil, is a pattern cache shared across
+	// compilations (typically owned by a core.Cache): the prediction loop,
+	// materialisation, and pure-ATA replay all consult it instead of a
+	// per-compile cache. Sharing is output-safe — cached entries replay
+	// exactly what an uncached run computes (see scoreCheckpoint) — so the
+	// compiled circuit is byte-identical with or without it. Nil keeps the
+	// historical behaviour: Workers>1 builds a private per-compile cache,
+	// Workers=1 runs uncached.
+	PatternCache *swapnet.PatternCache
+}
+
+// applyDefaults resolves the zero-value options to their documented
+// defaults. CompileContext applies it on entry; CompileCached applies it
+// before digesting the options into the cache key, so the key reflects
+// the values the compiler will actually run with.
+func (o *Options) applyDefaults() {
+	if o.Angle == 0 {
+		o.Angle = 1
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 0.5
+	}
+	if o.MaxPredictions == 0 {
+		o.MaxPredictions = 48
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 }
 
 // Mode selects between the full hybrid framework and its ablations.
@@ -145,11 +173,16 @@ type Stats struct {
 	// the mode ran no selector. It identifies the selected checkpoint, so
 	// determinism tests can pin the selection, not just the output bytes.
 	SelectedPrefix int
-	// CacheHits/CacheMisses report pattern-cache effectiveness for the
-	// parallel prediction engine (both zero in the Workers=1 serial path,
-	// which runs uncached).
+	// CacheHits/CacheMisses report pattern-cache effectiveness for this
+	// compilation (deltas, so a shared Options.PatternCache does not bleed
+	// other compiles' counters in). Both stay zero in the Workers=1 serial
+	// path unless a shared cache was supplied.
 	CacheHits   int64
 	CacheMisses int64
+	// CacheTier reports which compilation-cache tier served this result
+	// ("mem" or "disk"); empty for a fresh compile or when no compilation
+	// cache was consulted. Only CompileCached sets it.
+	CacheTier string
 }
 
 // Result is a compiled circuit plus provenance.
@@ -214,18 +247,7 @@ func CompileContext(ctx context.Context, a *arch.Arch, problem *graph.Graph, opt
 			err = fmt.Errorf("%w: panic: %v\n%s", ErrInternal, r, debug.Stack())
 		}
 	}()
-	if opts.Angle == 0 {
-		opts.Angle = 1
-	}
-	if opts.Alpha == 0 {
-		opts.Alpha = 0.5
-	}
-	if opts.MaxPredictions == 0 {
-		opts.MaxPredictions = 48
-	}
-	if opts.Workers <= 0 {
-		opts.Workers = runtime.GOMAXPROCS(0)
-	}
+	opts.applyDefaults()
 	rootAttrs := []obs.Attr{
 		obs.Str("mode", opts.Mode.String()),
 		obs.Int("qubits", a.N()),
@@ -396,7 +418,7 @@ func compileATA(a *arch.Arch, problem *graph.Graph, initial []int, opts Options,
 	defer ph.end()
 	b := circuit.NewBuilder(a, problem.N(), initial)
 	st := swapnet.NewStateFromMapping(a, initial, swapnet.NewEdgeSet(problem))
-	if err := runATARegionsTraced(st, b, opts.Angle, nil, rec.tr, ph.span); err != nil {
+	if err := runATARegionsTraced(st, b, opts.Angle, opts.PatternCache, rec.tr, ph.span); err != nil {
 		return nil, err
 	}
 	res := &Result{Circuit: b.C, Initial: b.InitialMapping(), Final: b.CurrentMapping(), Source: "ata"}

@@ -109,15 +109,26 @@ func compileHybrid(a *arch.Arch, problem *graph.Graph, initial []int, opts Optio
 	var (
 		best    *candidate
 		dreason DegradeReason
-		cache   *swapnet.PatternCache
 	)
+	// A caller-supplied cache (CompileCached's warm pattern cache) is
+	// shared by every engine; otherwise the parallel engine builds its own
+	// per-compile cache and the serial engine runs uncached, preserving the
+	// historical paths. cs0 snapshots the counters so shared caches report
+	// per-compile deltas.
+	cache := opts.PatternCache
+	if cache == nil && opts.Workers > 1 {
+		cache = swapnet.NewPatternCache(0)
+	}
+	var cs0 swapnet.CacheStats
+	if cache != nil {
+		cs0 = cache.Stats()
+	}
 	pph := rec.phase("predict")
 	obs.PhaseLabel(bud.ctx, "predict", func(context.Context) {
 		if opts.Workers > 1 {
-			cache = swapnet.NewPatternCache(0)
 			best, dreason, err = h.predictParallel(cps, &stats, cache, pph.span)
 		} else {
-			best, dreason, err = h.predictSerial(cps, &stats, pph.span)
+			best, dreason, err = h.predictSerial(cps, &stats, cache, pph.span)
 		}
 	})
 	pph.end()
@@ -126,7 +137,7 @@ func compileHybrid(a *arch.Arch, problem *graph.Graph, initial []int, opts Optio
 	}
 
 	if best == nil {
-		finishCacheStats(&stats, cache, rec)
+		finishCacheStats(&stats, cache, cs0, rec)
 		return &Result{Circuit: g.Circuit, Initial: g.Initial, Final: g.Final, Source: "greedy",
 			Degraded: !dreason.IsZero(), DegradeReason: dreason, Stats: stats}, nil
 	}
@@ -154,7 +165,7 @@ func compileHybrid(a *arch.Arch, problem *graph.Graph, initial []int, opts Optio
 	if mErr != nil {
 		return nil, mErr
 	}
-	finishCacheStats(&stats, cache, rec)
+	finishCacheStats(&stats, cache, cs0, rec)
 	source := "ata"
 	if best.cp.prefixLen > 0 {
 		source = "hybrid"
@@ -206,9 +217,11 @@ func (h *hybridEval) scoreCheckpoint(cp checkpoint, want *swapnet.EdgeSet, c *sw
 }
 
 // predictSerial is the Workers=1 engine: the original governed loop,
-// uncached, evaluating checkpoints in order. It doubles as the reference
-// the determinism suite compares the parallel engine against.
-func (h *hybridEval) predictSerial(cps []checkpoint, stats *Stats, parent *obs.Span) (best *candidate, dreason DegradeReason, err error) {
+// evaluating checkpoints in order (uncached unless a shared cache was
+// supplied — cached scores are identical by the scoreCheckpoint
+// contract). It doubles as the reference the determinism suite compares
+// the parallel engine against.
+func (h *hybridEval) predictSerial(cps []checkpoint, stats *Stats, cache *swapnet.PatternCache, parent *obs.Span) (best *candidate, dreason DegradeReason, err error) {
 	rec := h.rec
 	bestF := 1.0 // pure greedy: fD/oD = 1 and fidelity ratio = 1
 	for i := range cps {
@@ -227,7 +240,7 @@ func (h *hybridEval) predictSerial(cps []checkpoint, stats *Stats, parent *obs.S
 		sp := rec.tr.StartSpan(parent, "predictATA",
 			obs.Int("prefix", cp.prefixLen), obs.Int("cycle", cp.cycle))
 		t0 := rec.clock.Now()
-		f, ok := h.scoreCheckpoint(cp, want, nil)
+		f, ok := h.scoreCheckpoint(cp, want, cache)
 		run := rec.clock.Now().Sub(t0)
 		sp.SetAttrs(obs.F64("cost", f), obs.Bool("scored", ok))
 		sp.End()
@@ -247,19 +260,20 @@ func (h *hybridEval) predictSerial(cps []checkpoint, stats *Stats, parent *obs.S
 	return best, dreason, nil
 }
 
-// finishCacheStats copies the pattern cache counters onto the stats and
-// into the trace's metrics registry (nil cache = serial path, counters stay
-// zero).
-func finishCacheStats(stats *Stats, c *swapnet.PatternCache, rec *recorder) {
+// finishCacheStats copies this compile's pattern-cache counter deltas
+// (relative to the cs0 snapshot taken when the compile began) onto the
+// stats and into the trace's metrics registry (nil cache = uncached
+// serial path, counters stay zero).
+func finishCacheStats(stats *Stats, c *swapnet.PatternCache, cs0 swapnet.CacheStats, rec *recorder) {
 	if c == nil {
 		return
 	}
 	cs := c.Stats()
-	stats.CacheHits, stats.CacheMisses = cs.Hits, cs.Misses
+	stats.CacheHits, stats.CacheMisses = cs.Hits-cs0.Hits, cs.Misses-cs0.Misses
 	met := rec.tr.Metrics()
-	met.Counter("cache.hits").Add(cs.Hits)
-	met.Counter("cache.misses").Add(cs.Misses)
-	met.Counter("cache.evictions").Add(cs.Evictions)
+	met.Counter("cache.hits").Add(stats.CacheHits)
+	met.Counter("cache.misses").Add(stats.CacheMisses)
+	met.Counter("cache.evictions").Add(cs.Evictions - cs0.Evictions)
 }
 
 // remainingAfterPrefix returns the problem edges not scheduled within the

@@ -1,0 +1,198 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomPerm returns a uniform random bijection on [0, n).
+func randomPerm(n int, rng *rand.Rand) []int {
+	p := rng.Perm(n)
+	return p
+}
+
+// latticeGraph builds a rows x cols grid-lattice interaction graph.
+func latticeGraph(rows, cols int) *Graph {
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// canonicalFamilies enumerates the graph families the cache's hashing
+// must canonicalize: ER at three densities, random regular, and lattice.
+func canonicalFamilies(seed int64) map[string]*Graph {
+	rng := rand.New(rand.NewSource(seed))
+	return map[string]*Graph{
+		"er-0.2":    GnpConnected(14, 0.2, rng),
+		"er-0.5":    GnpConnected(12, 0.5, rng),
+		"er-0.8":    GnpConnected(10, 0.8, rng),
+		"regular-3": MustRandomRegular(12, 3, rng),
+		"lattice":   latticeGraph(3, 4),
+	}
+}
+
+// TestCanonicalFormRelabelingInvariant is the cache-sharing property:
+// every random relabeling of a graph hashes to the same value, and the
+// canonical permutations actually witness it — relabeling each graph by
+// its own perm yields the identical edge set.
+func TestCanonicalFormRelabelingInvariant(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		for name, g := range canonicalFamilies(seed) {
+			permG, hashG := CanonicalForm(g)
+			canonG := Relabel(g, permG)
+			rng := rand.New(rand.NewSource(seed * 31))
+			for trial := 0; trial < 6; trial++ {
+				relab := randomPerm(g.N(), rng)
+				h := Relabel(g, relab)
+				permH, hashH := CanonicalForm(h)
+				if hashH != hashG {
+					t.Fatalf("%s seed=%d trial=%d: relabeled graph hashes differently", name, seed, trial)
+				}
+				canonH := Relabel(h, permH)
+				if !sameEdges(canonG, canonH) {
+					t.Fatalf("%s seed=%d trial=%d: canonical forms differ despite equal hashes", name, seed, trial)
+				}
+			}
+		}
+	}
+}
+
+// TestCanonicalFormPermIsValid pins the returned permutation's contract:
+// a bijection whose application produces exactly the certificate graph.
+func TestCanonicalFormPermIsValid(t *testing.T) {
+	for name, g := range canonicalFamilies(7) {
+		perm, _ := CanonicalForm(g)
+		if len(perm) != g.N() {
+			t.Fatalf("%s: perm covers %d of %d vertices", name, len(perm), g.N())
+		}
+		seen := make([]bool, len(perm))
+		for _, p := range perm {
+			if p < 0 || p >= len(perm) || seen[p] {
+				t.Fatalf("%s: perm %v is not a bijection", name, perm)
+			}
+			seen[p] = true
+		}
+		if got := Relabel(g, perm); got.M() != g.M() {
+			t.Fatalf("%s: relabeling changed edge count %d -> %d", name, g.M(), got.M())
+		}
+	}
+}
+
+// TestCanonicalHashNearMiss: adding or removing a single edge must
+// change the hash — near-isomorphic inputs may not share cache entries.
+func TestCanonicalHashNearMiss(t *testing.T) {
+	for name, g := range canonicalFamilies(3) {
+		base := CanonicalHash(g)
+		edges := g.Edges()
+
+		// Remove each of the first few edges.
+		for i, e := range edges {
+			if i >= 4 {
+				break
+			}
+			smaller := New(g.N())
+			for _, f := range edges {
+				if f != e {
+					smaller.AddEdge(f.U, f.V)
+				}
+			}
+			if CanonicalHash(smaller) == base {
+				t.Fatalf("%s: removing edge %v left the hash unchanged", name, e)
+			}
+		}
+
+		// Add the first few absent edges.
+		added := 0
+		for u := 0; u < g.N() && added < 4; u++ {
+			for v := u + 1; v < g.N() && added < 4; v++ {
+				if g.HasEdge(u, v) {
+					continue
+				}
+				bigger := g.Clone()
+				bigger.AddEdge(u, v)
+				if CanonicalHash(bigger) == base {
+					t.Fatalf("%s: adding edge (%d,%d) left the hash unchanged", name, u, v)
+				}
+				added++
+			}
+		}
+	}
+}
+
+// TestCanonicalHashDistinguishesSizes: same edge structure on a larger
+// vertex set (extra isolated vertices) is a different problem.
+func TestCanonicalHashDistinguishesSizes(t *testing.T) {
+	g := Path(5)
+	padded := New(7)
+	for _, e := range g.Edges() {
+		padded.AddEdge(e.U, e.V)
+	}
+	if CanonicalHash(g) == CanonicalHash(padded) {
+		t.Fatal("isolated-vertex padding did not change the hash")
+	}
+}
+
+// TestCanonicalFormSymmetricGraphs exercises the individualization
+// branches: cycles, cliques, and unions of equal cliques have no
+// discrete refinement, so the search must branch and still converge to
+// one certificate per isomorphism class.
+func TestCanonicalFormSymmetricGraphs(t *testing.T) {
+	cases := map[string]*Graph{
+		"cycle-8":  Cycle(8),
+		"clique-6": Complete(6),
+		"two-k3": func() *Graph {
+			g := New(6)
+			g.AddEdge(0, 1)
+			g.AddEdge(1, 2)
+			g.AddEdge(0, 2)
+			g.AddEdge(3, 4)
+			g.AddEdge(4, 5)
+			g.AddEdge(3, 5)
+			return g
+		}(),
+	}
+	rng := rand.New(rand.NewSource(11))
+	for name, g := range cases {
+		base := CanonicalHash(g)
+		for trial := 0; trial < 8; trial++ {
+			h := Relabel(g, randomPerm(g.N(), rng))
+			if CanonicalHash(h) != base {
+				t.Fatalf("%s trial=%d: relabeling changed the hash", name, trial)
+			}
+		}
+	}
+}
+
+// TestCanonicalFormEmptyAndTiny covers the degenerate sizes.
+func TestCanonicalFormEmptyAndTiny(t *testing.T) {
+	perm, h0 := CanonicalForm(New(0))
+	if perm != nil {
+		t.Fatalf("empty graph returned perm %v", perm)
+	}
+	_, h1 := CanonicalForm(New(1))
+	if h0 == h1 {
+		t.Fatal("0-vertex and 1-vertex graphs hash identically")
+	}
+}
+
+func sameEdges(a, b *Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	for _, e := range a.Edges() {
+		if !b.HasEdge(e.U, e.V) {
+			return false
+		}
+	}
+	return true
+}

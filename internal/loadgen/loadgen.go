@@ -53,6 +53,10 @@ type Config struct {
 	BaseBackoff time.Duration
 	// Timeout caps one HTTP exchange (default 60s).
 	Timeout time.Duration
+	// Bodies, when non-empty, replaces the built-in problem mix: each
+	// request samples one uniformly. WorkloadSpec.Configs builds these
+	// from a declarative spec file.
+	Bodies []string
 }
 
 func (c Config) withDefaults() Config {
@@ -127,9 +131,12 @@ type Report struct {
 // Run drives one load level and reports it. The context aborts early.
 func Run(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	bodies, err := problemMix()
-	if err != nil {
-		return nil, err
+	bodies := cfg.Bodies
+	if len(bodies) == 0 {
+		var err error
+		if bodies, err = problemMix(); err != nil {
+			return nil, err
+		}
 	}
 	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
 	defer cancel()

@@ -1,0 +1,174 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleSpec = `
+# a comment
+name: sample
+seed: 42
+chaos_fraction: 0.25
+
+levels:
+  - rps: 40
+    duration: 8s
+    clients: 8
+  - rps: 0          # closed loop
+    duration: 5s
+
+mix:
+  - arch: grid
+    n: 9
+    density: 0.5
+    seed: 3
+    weight: 2
+  - arch: heavy-hex
+    n: 12
+    density: 0.4
+    seed: 5
+    relabel: 2
+`
+
+func TestParseWorkload(t *testing.T) {
+	spec, err := ParseWorkload(strings.NewReader(sampleSpec))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if spec.Name != "sample" || spec.Seed != 42 || spec.ChaosFraction != 0.25 {
+		t.Fatalf("scalars: %+v", spec)
+	}
+	wantLevels := []LevelSpec{
+		{RPS: 40, Duration: 8 * time.Second, Clients: 8},
+		{RPS: 0, Duration: 5 * time.Second},
+	}
+	if !reflect.DeepEqual(spec.Levels, wantLevels) {
+		t.Fatalf("levels: %+v", spec.Levels)
+	}
+	wantMix := []MixSpec{
+		{Arch: "grid", N: 9, Density: 0.5, Seed: 3, Weight: 2},
+		{Arch: "heavy-hex", N: 12, Density: 0.4, Seed: 5, Relabel: 2},
+	}
+	if !reflect.DeepEqual(spec.Mix, wantMix) {
+		t.Fatalf("mix: %+v", spec.Mix)
+	}
+}
+
+func TestParseWorkloadErrors(t *testing.T) {
+	cases := []struct {
+		name, text, want string
+	}{
+		{"unknown top key", "nmae: x\nlevels:\n  - rps: 1\nmix:\n  - arch: grid\n    n: 4\n    density: 0.5\n", "unknown key"},
+		{"unknown section", "stuff:\n  - a: 1\n", "unknown section"},
+		{"unknown level key", "levels:\n  - rsp: 4\nmix:\n  - arch: grid\n    n: 4\n    density: 0.5\n", "unknown level keys"},
+		{"unknown mix key", "levels:\n  - rps: 4\nmix:\n  - arch: grid\n    n: 4\n    density: 0.5\n    wieght: 2\n", "unknown mix keys"},
+		{"tab indent", "levels:\n\t- rps: 4\n", "tabs"},
+		{"no levels", "mix:\n  - arch: grid\n    n: 4\n    density: 0.5\n", "no levels"},
+		{"no mix", "levels:\n  - rps: 4\n", "no problem mix"},
+		{"bad density", "levels:\n  - rps: 4\nmix:\n  - arch: grid\n    n: 4\n    density: 1.5\n", "density"},
+		{"missing arch", "levels:\n  - rps: 4\nmix:\n  - n: 4\n    density: 0.5\n", "needs an arch"},
+		{"duplicate key", "levels:\n  - rps: 4\n    rps: 5\nmix:\n  - arch: grid\n    n: 4\n    density: 0.5\n", "duplicate key"},
+		{"item outside section", "name: x\n  - rps: 4\n", "outside"},
+		{"ragged indent", "levels:\n  - rps: 4\n    duration: 2s\n      clients: 3\n", "inconsistent indentation"},
+	}
+	for _, tc := range cases {
+		_, err := ParseWorkload(strings.NewReader(tc.text))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestWorkloadBodies(t *testing.T) {
+	spec, err := ParseWorkload(strings.NewReader(sampleSpec))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	bodies, err := spec.Bodies()
+	if err != nil {
+		t.Fatalf("bodies: %v", err)
+	}
+	// grid entry: weight 2, no relabels -> 2 bodies. heavy-hex entry:
+	// weight 1, base + 2 relabeled variants -> 3 bodies.
+	if len(bodies) != 5 {
+		t.Fatalf("got %d bodies, want 5", len(bodies))
+	}
+	type reqShape struct {
+		Arch  string   `json:"arch"`
+		N     int      `json:"n"`
+		Edges [][2]int `json:"edges"`
+	}
+	var hex []reqShape
+	for _, b := range bodies {
+		var r reqShape
+		if err := json.Unmarshal([]byte(b), &r); err != nil {
+			t.Fatalf("body is not valid JSON: %v\n%s", err, b)
+		}
+		if len(r.Edges) == 0 || r.N == 0 {
+			t.Fatalf("degenerate body: %s", b)
+		}
+		if r.Arch == "heavy-hex" {
+			hex = append(hex, r)
+		}
+	}
+	if len(hex) != 3 {
+		t.Fatalf("heavy-hex variants = %d, want 3", len(hex))
+	}
+	// The relabeled variants must be isomorphic to the base (same vertex
+	// count, same degree multiset) but not byte-identical to it.
+	base := hex[0]
+	for i, v := range hex[1:] {
+		if reflect.DeepEqual(v.Edges, base.Edges) {
+			t.Fatalf("relabel variant %d is identical to the base", i+1)
+		}
+		if !sameDegreeMultiset(base.Edges, v.Edges, base.N) {
+			t.Fatalf("relabel variant %d is not a relabeling of the base", i+1)
+		}
+	}
+}
+
+func sameDegreeMultiset(a, b [][2]int, n int) bool {
+	da, db := make([]int, n), make([]int, n)
+	for _, e := range a {
+		da[e[0]]++
+		da[e[1]]++
+	}
+	for _, e := range b {
+		db[e[0]]++
+		db[e[1]]++
+	}
+	sort.Ints(da)
+	sort.Ints(db)
+	return reflect.DeepEqual(da, db)
+}
+
+// TestExampleWorkloadsAreValid keeps the shipped spec files parseable
+// and expandable — the docs' quickstart must not rot.
+func TestExampleWorkloadsAreValid(t *testing.T) {
+	matches, err := filepath.Glob("../../examples/workloads/*.yaml")
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no example workload specs found: %v", err)
+	}
+	for _, path := range matches {
+		spec, err := LoadWorkload(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if spec.Name == "" {
+			t.Fatalf("%s: unnamed workload", path)
+		}
+		cfgs, err := spec.Configs("http://127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(cfgs) == 0 || len(cfgs[0].Bodies) == 0 {
+			t.Fatalf("%s: expanded to no work", path)
+		}
+	}
+}

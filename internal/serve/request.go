@@ -75,7 +75,10 @@ type CompileResponse struct {
 	// under (0 = relaxed; higher levels tighten the compile budget).
 	Pressure  int     `json:"pressure"`
 	ElapsedMs float64 `json:"elapsedMs"`
-	QASM      string  `json:"qasm,omitempty"`
+	// CacheTier names the compilation-cache tier that served this result
+	// ("mem" or "disk"); empty for a fresh compile or a cacheless daemon.
+	CacheTier string `json:"cacheTier,omitempty"`
+	QASM      string `json:"qasm,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx answer. Like successes

@@ -76,6 +76,13 @@ type Config struct {
 	// Clock drives the flight recorder and SLO tracker (default
 	// obs.SystemClock); tests inject a fake to step time deterministically.
 	Clock obs.Clock
+	// Cache, when non-nil, is attached to every compile under the
+	// hybrid/greedy/ata strategies (Options.Cache) and surfaced in the
+	// metrics registry: cache.hits{tier=mem|disk} and cache.misses
+	// counters, plus size/corruption gauges, appear in /statz and
+	// /metricsz after the first cached compile. Responses carry the tier
+	// that answered in cacheTier.
+	Cache *ataqc.Cache
 	// Compile overrides the compile entry point (default
 	// ataqc.CompileContext).
 	Compile CompileFunc
@@ -405,6 +412,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.met.Counter(fmt.Sprintf("serve.pressure.%d", level)).Add(1)
 	job.SetPressure(level)
 
+	if s.cfg.Cache != nil {
+		opts.Cache = s.cfg.Cache
+	}
 	cctx, cancel := context.WithTimeout(ctx, deadline+time.Second) // the compiler's own ladder fires first
 	defer cancel()
 	start := time.Now()
@@ -416,6 +426,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.Counter("serve.ok").Add(1)
 	s.met.Histogram("serve.latency_us").Observe(elapsed.Microseconds())
+	s.recordCacheOutcome(opts, res)
 	tl := res.Timeline()
 	job.SetTimeline(phasesOf(tl), tl.Winner)
 
@@ -452,7 +463,36 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.QASM = sb.String()
 	}
+	resp.CacheTier = res.CacheTier()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// recordCacheOutcome lands the compile's cache verdict in the metrics
+// registry: one hit counter per answering tier, a miss counter for
+// cacheable strategies that compiled fresh, and snapshot gauges sizing
+// both tiers. Only runs when the server carries a cache; baseline
+// strategies (which bypass the cache) are not counted as misses.
+func (s *Server) recordCacheOutcome(opts ataqc.Options, res *ataqc.Result) {
+	if s.cfg.Cache == nil {
+		return
+	}
+	switch opts.Strategy {
+	case ataqc.StrategyHybrid, ataqc.StrategyGreedy, ataqc.StrategyATA, "":
+	default:
+		return
+	}
+	if tier := res.CacheTier(); tier != "" {
+		s.met.Counter(obs.Labeled("cache.hits", obs.Label{Key: "tier", Value: tier})).Add(1)
+	} else {
+		s.met.Counter("cache.misses").Add(1)
+	}
+	st := s.cfg.Cache.Stats()
+	s.met.Gauge("cache.mem.entries").Set(int64(st.MemEntries))
+	s.met.Gauge("cache.disk.entries").Set(int64(st.DiskEntries))
+	s.met.Gauge("cache.disk.bytes").Set(st.DiskBytes)
+	s.met.Gauge("cache.corrupt").Set(st.Corrupt)
+	s.met.Gauge("cache.evictions").Set(st.Evictions)
+	s.met.Gauge("cache.put_failures").Set(st.PutFailures)
 }
 
 // phasesOf converts the compiler's phase breakdown into the flight

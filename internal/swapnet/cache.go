@@ -27,7 +27,7 @@ import (
 // them, and the choice replay emits freshly allocated steps.
 type PatternCache struct {
 	shards   [pcShardCount]pcShard
-	perShard int
+	shardCap [pcShardCount]int
 
 	hits      atomic.Int64
 	misses    atomic.Int64
@@ -93,18 +93,27 @@ type gridChoice struct {
 }
 
 // NewPatternCache returns a cache bounded to capacity entries (0 or
-// negative selects DefaultCacheCapacity).
+// negative selects DefaultCacheCapacity). Capacity is distributed
+// exactly across the shards — the first capacity%pcShardCount shards
+// take the extra entry — rather than rounded down per shard, so a
+// 100-entry cache holds 100 entries, not 96. Every shard keeps at
+// least one slot: requests below pcShardCount are raised to one entry
+// per shard, and Capacity reports the actual total.
 func NewPatternCache(capacity int) *PatternCache {
 	if capacity <= 0 {
 		capacity = DefaultCacheCapacity
 	}
-	per := capacity / pcShardCount
-	if per < 1 {
-		per = 1
-	}
-	c := &PatternCache{perShard: per}
+	per, extra := capacity/pcShardCount, capacity%pcShardCount
+	c := &PatternCache{}
 	for i := range c.shards {
 		c.shards[i].m = make(map[pcKey]*list.Element)
+		c.shardCap[i] = per
+		if i < extra {
+			c.shardCap[i]++
+		}
+		if c.shardCap[i] < 1 {
+			c.shardCap[i] = 1
+		}
 	}
 	return c
 }
@@ -131,8 +140,14 @@ func (c *PatternCache) Stats() CacheStats {
 	return s
 }
 
-// Capacity returns the total entry bound.
-func (c *PatternCache) Capacity() int { return c.perShard * pcShardCount }
+// Capacity returns the total entry bound actually enforced.
+func (c *PatternCache) Capacity() int {
+	total := 0
+	for _, n := range c.shardCap {
+		total += n
+	}
+	return total
+}
 
 func (k pcKey) shard() uint64 {
 	h := k.fp
@@ -168,13 +183,14 @@ func (c *PatternCache) get(k pcKey) (any, bool) {
 // put stores v under k, evicting the least-recently-used entry of the shard
 // at the cap. A racing duplicate insert keeps the first value.
 func (c *PatternCache) put(k pcKey, v any) {
-	sh := &c.shards[k.shard()]
+	idx := k.shard()
+	sh := &c.shards[idx]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if _, ok := sh.m[k]; ok {
 		return
 	}
-	for sh.lru.Len() >= c.perShard {
+	for sh.lru.Len() >= c.shardCap[idx] {
 		oldest := sh.lru.Back()
 		if oldest == nil {
 			break

@@ -194,6 +194,61 @@ func TestCacheEvictionAtCap(t *testing.T) {
 	}
 }
 
+// TestCacheCapacityDistribution is the regression test for the shard
+// rounding fix: requested capacities must be distributed exactly across
+// the shards (first capacity%pcShardCount shards take the extra entry),
+// never rounded down per shard, with every shard keeping at least one
+// slot. Before the fix a 100-entry cache silently enforced 96 and
+// Capacity lied about sub-shard-count requests.
+func TestCacheCapacityDistribution(t *testing.T) {
+	cases := []struct {
+		requested, want int
+	}{
+		{1, pcShardCount},  // raised to one slot per shard
+		{5, pcShardCount},  // likewise
+		{15, pcShardCount}, // likewise
+		{16, 16},
+		{17, 17},   // one shard gets the extra entry
+		{100, 100}, // 6*16=96 before the fix
+		{0, DefaultCacheCapacity},
+	}
+	for _, tc := range cases {
+		c := NewPatternCache(tc.requested)
+		if got := c.Capacity(); got != tc.want {
+			t.Errorf("NewPatternCache(%d).Capacity() = %d, want %d", tc.requested, got, tc.want)
+		}
+		total, maxShard, minShard := 0, 0, int(^uint(0)>>1)
+		for _, n := range c.shardCap {
+			total += n
+			if n > maxShard {
+				maxShard = n
+			}
+			if n < minShard {
+				minShard = n
+			}
+		}
+		if total != tc.want {
+			t.Errorf("capacity %d: shard caps sum to %d, want %d", tc.requested, total, tc.want)
+		}
+		if minShard < 1 {
+			t.Errorf("capacity %d: a shard has cap %d (< 1)", tc.requested, minShard)
+		}
+		if maxShard-minShard > 1 {
+			t.Errorf("capacity %d: uneven distribution, shard caps span [%d, %d]", tc.requested, minShard, maxShard)
+		}
+	}
+
+	// The enforced bound is the reported one: overfill a 17-entry cache and
+	// check the entry count never exceeds Capacity.
+	c := NewPatternCache(17)
+	for i := 0; i < 400; i++ {
+		c.put(pcKey{fp: uint64(i), r: arch.Region{U0: i % 7, U1: i % 7}}, i)
+	}
+	if s := c.Stats(); s.Entries > c.Capacity() {
+		t.Fatalf("entries %d exceed reported capacity %d", s.Entries, c.Capacity())
+	}
+}
+
 // TestCacheDuplicatePutKeepsFirst: racing inserts of the same key must
 // converge on one entry (the first), never grow duplicates.
 func TestCacheDuplicatePutKeepsFirst(t *testing.T) {

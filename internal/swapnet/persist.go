@@ -1,0 +1,39 @@
+package swapnet
+
+import (
+	"github.com/ata-pattern/ataqc/internal/arch"
+	"github.com/ata-pattern/ataqc/internal/cachestore"
+)
+
+// ExportRegion materialises the structural cache entry for (a, r) —
+// computing it on miss, exactly as a compile would — as a persistable
+// record. The warm sweeper serialises these so a fresh daemon's pattern
+// cache starts populated.
+func (c *PatternCache) ExportRegion(a *arch.Arch, r arch.Region) *cachestore.PatternRecord {
+	ri := c.structural(a, r)
+	return &cachestore.PatternRecord{
+		Region:   r,
+		Norm:     ri.norm,
+		Units:    ri.units,
+		Qubits:   ri.qubits,
+		InRegion: ri.inRegion,
+		SnakeSeg: ri.snakeSeg,
+		SnakeOK:  ri.snakeOK,
+	}
+}
+
+// PreloadRegion installs a persisted structural record for the
+// architecture with fingerprint fp. The record's slices are adopted
+// directly (cached slices are read-only by contract), and a racing or
+// pre-existing entry for the same key wins — preloading never clobbers
+// a computed entry.
+func (c *PatternCache) PreloadRegion(fp uint64, rec *cachestore.PatternRecord) {
+	c.put(pcKey{fp: fp, r: rec.Region}, &regionInfo{
+		norm:     rec.Norm,
+		units:    rec.Units,
+		qubits:   rec.Qubits,
+		inRegion: rec.InRegion,
+		snakeSeg: rec.SnakeSeg,
+		snakeOK:  rec.SnakeOK,
+	})
+}

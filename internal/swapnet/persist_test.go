@@ -1,0 +1,50 @@
+package swapnet
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/ata-pattern/ataqc/internal/cachestore"
+)
+
+// TestExportPreloadRoundTrip: a structural entry exported from one
+// cache, serialised through the cachestore codec, and preloaded into a
+// fresh cache must hand back geometry identical to a cold computation —
+// and the preloaded lookup must be a hit, not a recompute.
+func TestExportPreloadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, a := range cacheTestArchs() {
+		for trial := 0; trial < 8; trial++ {
+			r := randomRegion(rng, a)
+			src := NewPatternCache(0)
+			rec := src.ExportRegion(a, r)
+
+			blob := cachestore.EncodePattern(rec)
+			decoded, err := cachestore.DecodePattern(blob)
+			if err != nil {
+				t.Fatalf("%s region %+v: decode: %v", a.Name, r, err)
+			}
+
+			dst := NewPatternCache(0)
+			dst.PreloadRegion(a.Fingerprint(), decoded)
+			before := dst.Stats()
+			got := dst.structural(a, r)
+			after := dst.Stats()
+			if after.Hits != before.Hits+1 {
+				t.Fatalf("%s region %+v: preloaded entry was not a hit", a.Name, r)
+			}
+
+			want := newRegionInfo(a, r)
+			if !reflect.DeepEqual(got.norm, want.norm) ||
+				!reflect.DeepEqual(got.units, want.units) ||
+				!reflect.DeepEqual(got.qubits, want.qubits) ||
+				!reflect.DeepEqual(got.inRegion, want.inRegion) ||
+				!reflect.DeepEqual(got.snakeSeg, want.snakeSeg) ||
+				got.snakeOK != want.snakeOK {
+				t.Fatalf("%s region %+v: preloaded geometry diverges from cold compute\n got %+v\nwant %+v",
+					a.Name, r, got, want)
+			}
+		}
+	}
+}

@@ -78,6 +78,7 @@ var All = []*Analyzer{MapRange, WallTime, ObsSpan, NakedPanic}
 var compilePathDirs = map[string]bool{
 	"internal/arch":        true,
 	"internal/baseline":    true,
+	"internal/cachestore":  true,
 	"internal/circuit":     true,
 	"internal/core":        true,
 	"internal/graph":       true,
